@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive part — profiling, compiling and executing all 17 programs
+under local/ideal/fast/slow — runs once per pytest session and is shared by
+every table/figure benchmark through :func:`repro.eval.evaluate_suite`'s
+cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import evaluate_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """All 17 SPEC-like programs, fully evaluated (cached)."""
+    return evaluate_suite(verbose=True)
+
+
+@pytest.fixture(scope="session")
+def games(suite):
+    return {name: suite[name] for name in ("458.sjeng", "445.gobmk")}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a regeneration step exactly once (simulation results are
+    deterministic; repeated rounds add nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

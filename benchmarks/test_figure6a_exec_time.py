@@ -1,0 +1,85 @@
+"""Figure 6(a) — whole-program execution time normalized to local
+execution, under slow/fast/ideal offloading.
+
+Paper: geomean time reductions of 82.0% (slow) and 84.4% (fast), i.e.
+speedups of ~5.6x and ~6.4x, bounded by their testbed's mobile/server gap;
+communication-bound programs (164.gzip & co.) are *not* offloaded on the
+slow network (the ``*`` bars at 1.0).
+
+Our simulated gap is R = 5.8, so the reproduction targets the *shape*:
+ideal < fast < slow < 1.0 normalized time, substantial geomean speedups,
+and the same per-program winners/losers.
+"""
+
+import pytest
+
+from repro.eval import (figure6a_execution_time, geomean, geomean_row,
+                        render_figure6)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows(suite):
+    return figure6a_execution_time(suite)
+
+
+def test_figure6a_regeneration(benchmark, rows):
+    text = run_once(benchmark, render_figure6, rows,
+                    "Figure 6(a): normalized execution time")
+    print("\n" + text)
+    assert "geomean" in text
+
+
+def test_every_program_speeds_up_or_breaks_even(benchmark, rows):
+    rows = run_once(benchmark, lambda: rows)
+    for row in rows:
+        for label in ("slow", "fast", "ideal"):
+            assert row.normalized[label] <= 1.02, \
+                f"{row.program} slowed down on {label}"
+
+
+def test_ordering_ideal_fast_slow(benchmark, rows):
+    gm = run_once(benchmark, geomean_row, rows)
+    assert gm["ideal"] <= gm["fast"] <= gm["slow"] < 1.0
+
+
+def test_geomean_speedups_substantial(benchmark, rows):
+    gm = run_once(benchmark, geomean_row, rows)
+    # paper: 6.42x fast / 5.56x slow with their hardware gap; ours is
+    # bounded by R=5.8 — require >3x fast and >2x slow.
+    assert 1.0 / gm["fast"] > 3.0
+    assert 1.0 / gm["slow"] > 2.0
+    assert 1.0 / gm["ideal"] > 4.0
+
+
+def test_comm_heavy_programs_decline_on_slow(benchmark, rows):
+    """The paper's star-marked bars: the dynamic estimator refuses the
+    slow network for the compression programs."""
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    for program in ("164.gzip", "401.bzip2"):
+        row = by_name[program]
+        assert not row.offloaded["slow"], f"{program} offloaded on slow"
+        assert row.normalized["slow"] == pytest.approx(1.0, abs=0.05)
+        # ...but the fast network is worth it
+        assert row.offloaded["fast"]
+        assert row.normalized["fast"] < 0.85
+
+
+def test_near_ideal_class(benchmark, rows):
+    """vpr / equake / hmmer / libquantum communicate little: their fast-
+    network bars sit close to the ideal bars (paper Section 5.1)."""
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    for program in ("175.vpr", "183.equake", "456.hmmer",
+                    "462.libquantum"):
+        row = by_name[program]
+        assert row.normalized["fast"] <= row.normalized["ideal"] * 1.35, \
+            program
+
+
+def test_interactive_chess_engine_wins_even_slow(benchmark, suite):
+    """Paper: 458.sjeng (a user-interactive chess engine invoking think
+    multiple times) still speeds up on the slow network."""
+    result = run_once(benchmark, lambda: suite["458.sjeng"])
+    assert result.speedup("slow") > 1.5
+    assert result.sessions["slow"].offloaded_invocations == 3

@@ -1,0 +1,72 @@
+"""Figure 6(b) — battery consumption normalized to local execution.
+
+Paper: geomean battery savings of 77.2% (slow) and 82.0% (fast); every
+program saves energy except 164.gzip, whose bulk communication burns more
+than local computation would; remote-I/O-heavy programs (300.twolf,
+445.gobmk, 464.h264ref, 482.sphinx3) save relatively less than ideal.
+"""
+
+import pytest
+
+from repro.eval import (figure6a_execution_time, figure6b_battery,
+                        geomean_row, render_figure6)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows(suite):
+    return figure6b_battery(suite)
+
+
+def test_figure6b_regeneration(benchmark, rows):
+    text = run_once(benchmark, render_figure6, rows,
+                    "Figure 6(b): normalized battery consumption")
+    print("\n" + text)
+    assert "geomean" in text
+
+
+def test_geomean_savings_in_paper_band(benchmark, rows):
+    gm = run_once(benchmark, geomean_row, rows)
+    fast_saving = (1.0 - gm["fast"]) * 100
+    slow_saving = (1.0 - gm["slow"]) * 100
+    # paper: 82.0% fast, 77.2% slow
+    assert 70.0 < fast_saving < 92.0, f"fast saving {fast_saving:.1f}%"
+    assert 45.0 < slow_saving < 90.0, f"slow saving {slow_saving:.1f}%"
+    assert fast_saving > slow_saving
+
+
+def test_most_programs_save_energy(benchmark, rows):
+    rows = run_once(benchmark, lambda: rows)
+    saving_fast = [r for r in rows if r.normalized["fast"] < 1.0]
+    assert len(saving_fast) == len(rows)
+
+
+def test_remote_io_programs_save_less_than_ideal(benchmark, rows):
+    """Paper Section 5.2: twolf / gobmk / h264ref / sphinx3 burn extra
+    power servicing remote I/O, so their fast-network battery bars sit
+    clearly above their ideal bars."""
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    for program in ("300.twolf", "445.gobmk", "464.h264ref",
+                    "482.sphinx3"):
+        row = by_name[program]
+        assert row.normalized["fast"] > row.normalized["ideal"] * 1.1, \
+            program
+
+
+def test_battery_tracks_execution_time(benchmark, suite):
+    """"Battery consumption results are very similar to the execution
+    time results" — correlated rankings."""
+    def ranks():
+        time_rows = figure6a_execution_time(suite)
+        energy_rows = figure6b_battery(suite)
+        t = {r.program: r.normalized["fast"] for r in time_rows}
+        e = {r.program: r.normalized["fast"] for r in energy_rows}
+        return t, e
+    t, e = run_once(benchmark, ranks)
+    order_t = sorted(t, key=t.get)
+    order_e = sorted(e, key=e.get)
+    # rank displacement between the two orderings stays small on average
+    displacement = sum(abs(order_t.index(p) - order_e.index(p))
+                       for p in t) / len(t)
+    assert displacement < 4.0

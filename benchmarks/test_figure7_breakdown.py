@@ -1,0 +1,94 @@
+"""Figure 7 — breakdown of offloaded execution into computation,
+function-pointer translation, remote I/O and communication.
+
+Paper: 164.gzip / 401.bzip2 / 429.mcf / 458.sjeng / 470.lbm are
+communication-sensitive; 300.twolf / 445.gobmk / 464.h264ref pay remote
+I/O; 445.gobmk / 458.sjeng / 464.h264ref pay function-pointer translation;
+communication shares shrink when moving from the slow to the fast network.
+"""
+
+import pytest
+
+from repro.eval import figure7_breakdown, render_figure7
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows(suite):
+    return figure7_breakdown(suite)
+
+
+def _by_key(rows):
+    return {(r.program, r.network): r for r in rows}
+
+
+def test_figure7_regeneration(benchmark, rows):
+    text = run_once(benchmark, render_figure7, rows)
+    print("\n" + text)
+    assert "fn-ptr" in text
+
+
+def test_fractions_sum_to_one(benchmark, rows):
+    rows = run_once(benchmark, lambda: rows)
+    from repro.eval import BREAKDOWN_KEYS
+    for row in rows:
+        total = sum(row.fraction(k) for k in BREAKDOWN_KEYS)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fn_ptr_heavy_programs(benchmark, rows):
+    by_key = run_once(benchmark, _by_key, rows)
+    heavy = [by_key[(p, "fast")].fraction("fn_ptr_translation")
+             for p in ("445.gobmk", "458.sjeng", "464.h264ref")]
+    light = [by_key[(p, "fast")].fraction("fn_ptr_translation")
+             for p in ("179.art", "429.mcf", "470.lbm", "183.equake")]
+    assert min(heavy) > max(light)
+    assert max(heavy) > 0.02
+
+
+def test_remote_io_heavy_programs(benchmark, rows):
+    by_key = run_once(benchmark, _by_key, rows)
+    for program in ("300.twolf", "445.gobmk", "482.sphinx3",
+                    "464.h264ref"):
+        assert by_key[(program, "fast")].fraction("remote_io") > 0.01, \
+            program
+    for program in ("175.vpr", "462.libquantum", "456.hmmer"):
+        assert by_key[(program, "fast")].fraction("remote_io") < 0.01, \
+            program
+
+
+def test_communication_share_larger_on_slow_network(benchmark, rows):
+    by_key = run_once(benchmark, _by_key, rows)
+    larger = 0
+    considered = 0
+    for (program, network), row in by_key.items():
+        if network != "fast":
+            continue
+        slow_row = by_key[(program, "slow")]
+        # only meaningful when both configurations actually offloaded
+        if row.seconds["communication"] == 0 or \
+                slow_row.seconds["communication"] == 0:
+            continue
+        considered += 1
+        if slow_row.fraction("communication") >= \
+                row.fraction("communication") * 0.95:
+            larger += 1
+    assert considered >= 10
+    assert larger >= considered * 0.8
+
+
+def test_comm_sensitive_programs_have_big_comm_share(benchmark, rows):
+    """The compression pair spends a large *fraction* of offloaded time
+    communicating; the bulk-data programs also spend far more absolute
+    communication time than the near-ideal class (whose small comm
+    *share* is dominated by fixed per-offload protocol costs)."""
+    by_key = run_once(benchmark, _by_key, rows)
+    for program in ("164.gzip", "401.bzip2"):
+        assert by_key[(program, "fast")].fraction("communication") > 0.15, \
+            program
+    heavy_secs = [by_key[(p, "fast")].seconds["communication"]
+                  for p in ("164.gzip", "401.bzip2", "470.lbm")]
+    light_secs = [by_key[(p, "fast")].seconds["communication"]
+                  for p in ("456.hmmer", "175.vpr", "462.libquantum")]
+    assert min(heavy_secs) > 2.0 * max(light_secs)

@@ -1,0 +1,99 @@
+"""Figure 8 — power consumption over time for 458.sjeng and 445.gobmk.
+
+Paper: sjeng's trace shows communication bursts (>2000 mW) only at the
+beginning and end of each of its three think() invocations, idling near
+the 1350 mW waiting level in between; gobmk draws ~2000 mW *continuously*
+because it services remote I/O for the whole offload; and gobmk's radio
+draws less per unit time on the slow network than the fast one (1700 vs
+2000 mW) while taking longer.
+"""
+
+import pytest
+
+from repro.eval import figure8_power_traces, render_figure8
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def series(games):
+    return figure8_power_traces(games, resolution=1e-3)
+
+
+def _panel(series, program, network):
+    return next(s for s in series
+                if s.program == program and s.network == network)
+
+
+def test_figure8_regeneration(benchmark, series):
+    text = run_once(benchmark, render_figure8, series)
+    print("\n" + text)
+    assert "458.sjeng" in text and "445.gobmk" in text
+
+
+def test_three_panels(benchmark, series):
+    panels = run_once(benchmark,
+                      lambda: {(s.program, s.network) for s in series})
+    assert panels == {("458.sjeng", "fast"), ("445.gobmk", "fast"),
+                      ("445.gobmk", "slow")}
+
+
+def test_sjeng_bursty_wait_profile(benchmark, series):
+    sjeng = run_once(benchmark, _panel, series, "458.sjeng", "fast")
+    powers = [p for _, p in sjeng.samples]
+    # communication bursts reach transmit levels...
+    assert max(powers) >= 2000.0
+    # ...but most of the offloaded time is spent waiting near 1350 mW
+    waiting = sum(1 for p in powers if 1000.0 <= p <= 1500.0)
+    assert waiting / len(powers) > 0.3
+    # distinct burst episodes for the three think() invocations
+    bursts = 0
+    in_burst = False
+    for p in powers:
+        if p >= 1900.0 and not in_burst:
+            bursts += 1
+            in_burst = True
+        elif p < 1900.0:
+            in_burst = False
+    assert bursts >= 3
+
+
+def test_gobmk_continuous_io_power(benchmark, games):
+    """gobmk keeps the radio busy with remote I/O for the duration of its
+    offload (paper: "continuously spends 2000mW to manage remote I/O
+    requests"), unlike sjeng whose radio only bursts at invocation
+    boundaries."""
+    def io_shares():
+        out = {}
+        for name in ("445.gobmk", "458.sjeng"):
+            trace = games[name].sessions["fast"].power_trace
+            by_state = trace.energy_by_state()
+            total = trace.total_energy_mj
+            out[name] = by_state.get("remote_io", 0.0) / total
+        return out
+    shares = run_once(benchmark, io_shares)
+    assert shares["445.gobmk"] > 5 * shares["458.sjeng"]
+    assert shares["445.gobmk"] > 0.02
+
+
+def test_gobmk_slow_network_longer_but_lower_radio_power(benchmark,
+                                                         series):
+    def stats():
+        fast = _panel(series, "445.gobmk", "fast")
+        slow = _panel(series, "445.gobmk", "slow")
+        return fast, slow
+    fast, slow = run_once(benchmark, stats)
+    # slower network -> longer trace
+    assert slow.samples[-1][0] > fast.samples[-1][0]
+    # the 802.11n radio's transmit floor is lower (1700 vs 2000 mW)
+    fast_tx = [p for _, p in fast.samples if p >= 1600.0]
+    slow_tx = [p for _, p in slow.samples if p >= 1600.0]
+    if fast_tx and slow_tx:
+        assert min(slow_tx) <= min(fast_tx)
+
+
+def test_energy_consistent_with_trace(benchmark, games):
+    result = run_once(benchmark, lambda: games["458.sjeng"])
+    session = result.sessions["fast"]
+    assert session.power_trace.total_energy_mj == pytest.approx(
+        session.energy_mj)

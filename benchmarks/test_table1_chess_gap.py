@@ -1,0 +1,42 @@
+"""Table 1 — movement computation time of the chess game on the
+smartphone and the desktop, across difficulty levels.
+
+Paper: the smartphone is 5.36x-5.89x slower at every difficulty.
+Reproduction target: a stable gap in the same band, with absolute times
+growing with difficulty.
+"""
+
+import pytest
+
+from repro.eval import render_table1, table1_chess_gap
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_chess_gap()
+
+
+def test_table1_regeneration(benchmark, rows):
+    text = run_once(benchmark, render_table1, rows)
+    print("\n" + text)
+    assert "Table 1" in text and "Gap" in text
+
+
+def test_gap_in_paper_band(benchmark, rows):
+    gaps = run_once(benchmark, lambda: [r.gap for r in rows])
+    for difficulty, gap in zip((7, 8, 9, 10, 11), gaps):
+        assert 4.0 < gap < 8.0, f"difficulty {difficulty}: gap {gap:.2f}"
+    # the gap is roughly constant across difficulties (paper: 5.36-5.89)
+    assert max(gaps) / min(gaps) < 1.5
+
+
+def test_times_grow_with_difficulty(benchmark, rows):
+    phone, desktop = run_once(
+        benchmark,
+        lambda: ([r.smartphone_seconds for r in rows],
+                 [r.desktop_seconds for r in rows]))
+    assert phone == sorted(phone)
+    assert desktop == sorted(desktop)
+    assert phone[-1] > phone[0] * 10  # deep search dominates

@@ -1,0 +1,38 @@
+"""Table 2 — native-code share of the top-20 open-source Android apps.
+
+Paper: "around one third of the 20 applications include native codes more
+than 50% and spend more than 20% of the total execution time to execute
+them."
+"""
+
+from repro.eval import render_table2
+from repro.workloads import (TOP20_APPS, apps_with_heavy_native_runtime,
+                             apps_with_majority_native_code, survey_summary)
+
+from conftest import run_once
+
+
+def test_table2_regeneration(benchmark):
+    text = run_once(benchmark, render_table2)
+    print("\n" + text)
+    assert "Firefox" in text
+
+
+def test_headline_claim(benchmark):
+    summary = run_once(benchmark, survey_summary)
+    assert summary["total_apps"] == 20
+    # "around one third"
+    assert 0.25 <= summary["fraction_both"] <= 0.45
+
+
+def test_majority_native_apps(benchmark):
+    majority = run_once(benchmark, apps_with_majority_native_code)
+    names = {a.name for a in majority}
+    assert {"Orbot", "Firefox", "VLC Player", "Cool Reader",
+            "PPSSPP", "PDF Reader"} <= names
+
+
+def test_heavy_runtime_apps(benchmark):
+    heavy = run_once(benchmark, apps_with_heavy_native_runtime)
+    assert all(a.native_exec_ratio_pct > 20.0 for a in heavy)
+    assert len(heavy) >= 7

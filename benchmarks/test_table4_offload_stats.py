@@ -1,0 +1,97 @@
+"""Table 4 — details of the 17 offloaded programs.
+
+Reproduction targets (structural, per program): a target corresponding to
+the paper's is selected, coverage is high, invocation counts match the
+paper's multi-invocation programs (188.ammp, 433.milc, 458.sjeng), and the
+traffic ranking puts the compression/lattice programs on top.
+"""
+
+import pytest
+
+from repro.eval import render_table4, table4_offload_details
+from repro.workloads import workload
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows(suite):
+    return table4_offload_details(suite)
+
+
+def test_table4_regeneration(benchmark, rows):
+    text = run_once(benchmark, render_table4, rows)
+    print("\n" + text)
+    assert text.count("\n") >= 18
+
+
+def test_every_program_has_a_target(benchmark, rows):
+    rows = run_once(benchmark, lambda: rows)
+    assert len(rows) == 17
+    for row in rows:
+        assert row.targets, f"{row.program} selected no offload target"
+
+
+def test_targets_match_paper(benchmark, rows):
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    expectations = {
+        "164.gzip": "spec_compress",
+        "179.art": "scan_recognize",
+        "300.twolf": "utemp",
+        "401.bzip2": "spec_compress",
+        "429.mcf": "global_opt",
+        "433.milc": "update",
+        "445.gobmk": "gtp_main_loop",
+        "456.hmmer": "main_loop_serial",
+        "458.sjeng": "think",
+        "462.libquantum": "quantum_exp_mod_n",
+        "464.h264ref": "encode_sequence",
+        # loop targets (outlined):
+        "183.equake": "main_for",
+        "470.lbm": "main_for",
+        "482.sphinx3": "main_for",
+    }
+    for program, expected in expectations.items():
+        targets = by_name[program].targets
+        assert expected in targets, f"{program}: {targets}"
+
+
+def test_coverage_high(benchmark, rows):
+    rows = run_once(benchmark, lambda: rows)
+    # Paper: every program's offloaded targets cover >85% except ammp-like
+    # split targets; we accept >=60% for all, >=85% for the majority.
+    for row in rows:
+        assert row.coverage_pct >= 60.0, \
+            f"{row.program}: coverage {row.coverage_pct:.1f}%"
+    high = [r for r in rows if r.coverage_pct >= 85.0]
+    assert len(high) >= 12
+
+
+def test_multi_invocation_programs(benchmark, rows):
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    # paper: think runs 3x (three user moves), update 2x (trajectories),
+    # ammp's two targets total 3 invocations
+    assert by_name["458.sjeng"].invocations == 3
+    assert by_name["433.milc"].invocations == 2
+    assert by_name["188.ammp"].invocations == 3
+
+
+def test_traffic_ranking_matches_paper(benchmark, rows):
+    """The paper's heaviest-traffic programs (470.lbm, 164.gzip,
+    401.bzip2) must top our per-invocation traffic ranking too."""
+    ranked = run_once(
+        benchmark,
+        lambda: sorted(rows, key=lambda r: r.traffic_mb_per_invocation,
+                       reverse=True))
+    top4 = {r.program for r in ranked[:4]}
+    assert {"164.gzip", "401.bzip2", "470.lbm"} <= top4
+    # hmmer communicates almost nothing (paper: 0.3 MB)
+    hmmer = next(r for r in rows if r.program == "456.hmmer")
+    assert hmmer.traffic_mb_per_invocation < \
+        ranked[0].traffic_mb_per_invocation / 10
+
+
+def test_fn_ptr_sites_present_where_paper_reports_them(benchmark, rows):
+    by_name = run_once(benchmark, lambda: {r.program: r for r in rows})
+    for program in ("177.mesa", "445.gobmk", "458.sjeng", "464.h264ref"):
+        assert by_name[program].fn_ptr_sites > 0, program

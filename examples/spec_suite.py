@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run (a subset of) the SPEC-like evaluation suite and print
+Figure 6(a)/(b)-style results.
+
+Run:  python examples/spec_suite.py [workload ...]
+      python examples/spec_suite.py --all          # all 17 (several min)
+
+Without arguments a representative 5-program subset runs: one near-ideal
+program (456.hmmer), one loop target (183.equake), one communication-heavy
+program (164.gzip), one remote-I/O program (300.twolf) and one
+function-pointer-heavy program (458.sjeng).
+"""
+
+import sys
+
+from repro.eval import (evaluate_suite, figure6a_execution_time,
+                        figure6b_battery, geomean_row, render_figure6)
+from repro.workloads import spec_names
+
+DEFAULT_SUBSET = ["456.hmmer", "183.equake", "164.gzip", "300.twolf",
+                  "458.sjeng"]
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if "--all" in args:
+        names = spec_names()
+    elif args:
+        names = args
+    else:
+        names = DEFAULT_SUBSET
+    print(f"evaluating {len(names)} workloads "
+          "(local + ideal + fast + slow each) ...")
+    results = evaluate_suite(names, verbose=True)
+
+    time_rows = [r for r in figure6a_execution_time(results)
+                 if r.program in results]
+    print()
+    print(render_figure6(time_rows, "Figure 6(a): normalized execution "
+                                    "time"))
+    gm = geomean_row(time_rows)
+    print(f"\ngeomean speedups: slow {1 / gm['slow']:.2f}x, "
+          f"fast {1 / gm['fast']:.2f}x, ideal {1 / gm['ideal']:.2f}x")
+
+    energy_rows = [r for r in figure6b_battery(results)
+                   if r.program in results]
+    print()
+    print(render_figure6(energy_rows, "Figure 6(b): normalized battery "
+                                      "consumption"))
+    gm = geomean_row(energy_rows)
+    print(f"\ngeomean battery saving: slow {(1 - gm['slow']) * 100:.1f}%, "
+          f"fast {(1 - gm['fast']) * 100:.1f}%")
+
+    for name, result in results.items():
+        assert result.outputs_match(), f"{name}: output mismatch!"
+    print("\nall offloaded outputs byte-identical to local execution")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation) cannot
+build an editable wheel.  This shim lets ``python setup.py develop`` and
+legacy ``pip install -e . --no-build-isolation`` work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

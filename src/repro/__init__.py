@@ -1,0 +1,77 @@
+"""Native Offloader: architecture-aware automatic computation offload for
+native applications.
+
+Reproduction of Lee et al., MICRO 2015.  The package is organized as the
+paper's system is:
+
+* :mod:`repro.frontend` / :mod:`repro.ir` — C frontend and the IR the
+  compiler partitions.
+* :mod:`repro.profiler` — the hot function/loop profiler.
+* :mod:`repro.offload` — the Native Offloader compiler (target selection,
+  memory unification, partitioning, server-specific optimization).
+* :mod:`repro.runtime` — the Native Offloader runtime (UVA copy-on-demand,
+  communication, dynamic estimation, the offload session).
+* :mod:`repro.machine` / :mod:`repro.targets` — simulated ARM/x86 machines.
+* :mod:`repro.workloads` — the 17 SPEC-like programs of Table 4 plus the
+  chess running example.
+* :mod:`repro.eval` — regenerates every table and figure of the paper.
+
+Quick start::
+
+    from repro import offload_app, FAST_WIFI
+
+    result = offload_app(C_SOURCE, stdin=b"...", network=FAST_WIFI)
+    print(result.stdout, result.total_seconds)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .frontend import compile_c
+from .profiler import profile_module
+from .offload import CompilerOptions, NativeOffloaderCompiler, OffloadProgram
+from .runtime import (FAST_WIFI, IDEAL_NETWORK, NetworkModel, OffloadSession,
+                      SLOW_WIFI, SessionOptions, SessionResult, run_local)
+from .targets import ARM32, ARM64, MIPS32BE, X86, X86_64
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_c", "profile_module",
+    "CompilerOptions", "NativeOffloaderCompiler", "OffloadProgram",
+    "FAST_WIFI", "IDEAL_NETWORK", "NetworkModel", "OffloadSession",
+    "SLOW_WIFI", "SessionOptions", "SessionResult", "run_local",
+    "ARM32", "ARM64", "MIPS32BE", "X86", "X86_64",
+    "offload_app", "__version__",
+]
+
+
+def offload_app(source: str,
+                name: str = "app",
+                stdin: bytes = b"",
+                files: Optional[Dict[str, bytes]] = None,
+                profile_stdin: Optional[bytes] = None,
+                profile_files: Optional[Dict[str, bytes]] = None,
+                network: NetworkModel = FAST_WIFI,
+                compiler_options: Optional[CompilerOptions] = None,
+                session_options: Optional[SessionOptions] = None
+                ) -> SessionResult:
+    """One-call convenience API: compile a C source, profile it, build the
+    offloading-enabled partitions, and execute them over ``network``.
+
+    ``profile_stdin``/``profile_files`` default to the evaluation inputs;
+    the paper uses distinct (smaller) profiling inputs, so pass them when
+    fidelity matters.
+    """
+    module = compile_c(source, name)
+    profile = profile_module(
+        module,
+        stdin=profile_stdin if profile_stdin is not None else stdin,
+        files=profile_files if profile_files is not None else files)
+    compiler = NativeOffloaderCompiler(compiler_options
+                                       or CompilerOptions())
+    program = compiler.compile(module, profile)
+    session = OffloadSession(program, network, options=session_options,
+                             stdin=stdin, files=files)
+    return session.run()

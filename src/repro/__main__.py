@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+    python -m repro list                      # available workloads
+    python -m repro run 458.sjeng             # offload one workload
+    python -m repro run 164.gzip --network 802.11n
+    python -m repro compile 456.hmmer         # show selection + stats
+    python -m repro table 3                   # regenerate a paper table
+    python -m repro figure 6a                 # regenerate a paper figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .eval import (evaluate_suite, figure6a_execution_time,
+                   figure6b_battery, figure7_breakdown,
+                   figure8_power_traces, render_figure6, render_figure7,
+                   render_figure8, render_table1, render_table2,
+                   render_table3, render_table4, render_table5)
+from .offload import CompilerOptions, NativeOffloaderCompiler
+from .profiler import profile_module
+from .runtime import NETWORKS, OffloadSession, run_local
+from .workloads import ALL_WORKLOADS, workload
+
+
+def cmd_list(args) -> int:
+    print(f"{'name':16s} {'LoC':>4s}  description")
+    for spec in ALL_WORKLOADS:
+        print(f"{spec.name:16s} {spec.loc:4d}  {spec.description}")
+    return 0
+
+
+def _compile(name):
+    spec = workload(name)
+    module = spec.module()
+    profile = profile_module(module, stdin=spec.profile_stdin,
+                             files=spec.profile_files)
+    program = NativeOffloaderCompiler(CompilerOptions()).compile(
+        module, profile)
+    return spec, module, profile, program
+
+
+def cmd_compile(args) -> int:
+    spec, module, profile, program = _compile(args.workload)
+    print(f"{spec.name}: {spec.description}")
+    print(f"  offload targets : {', '.join(program.target_names())}")
+    print(f"  outlined loops  : {program.outlined_loops or '-'}")
+    print(f"  unification     : {program.unification.summary()}")
+    print(f"  remote I/O sites: {program.remote_io_sites}, "
+          f"fn-ptr sites: {program.fn_ptr_sites}")
+    print(f"  server pruned   : "
+          f"{', '.join(program.partition.removed_server_functions) or '-'}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    network = NETWORKS.get(args.network)
+    if network is None:
+        print(f"unknown network {args.network!r}; "
+              f"available: {sorted(NETWORKS)}", file=sys.stderr)
+        return 2
+    spec, module, profile, program = _compile(args.workload)
+    local = run_local(module, stdin=spec.eval_stdin,
+                      files=spec.eval_files)
+    session = OffloadSession(program, network, stdin=spec.eval_stdin,
+                             files=spec.eval_files)
+    result = session.run()
+    match = "identical" if result.stdout == local.stdout else "DIFFERENT"
+    print(f"{spec.name} over {network.name}")
+    print(f"  local   : {local.seconds * 1e3:9.2f} ms  "
+          f"{local.energy_mj:9.1f} mJ")
+    print(f"  offload : {result.total_seconds * 1e3:9.2f} ms  "
+          f"{result.energy_mj:9.1f} mJ")
+    print(f"  speedup : {local.seconds / result.total_seconds:.2f}x   "
+          f"battery saving "
+          f"{(1 - result.energy_mj / local.energy_mj) * 100:.1f}%")
+    print(f"  offloaded {result.offloaded_invocations}/"
+          f"{len(result.invocations)} invocations, "
+          f"traffic {result.traffic_per_invocation_mb:.3f} MB/invocation, "
+          f"output {match}")
+    return 0 if match == "identical" else 1
+
+
+def cmd_table(args) -> int:
+    renderers = {"1": render_table1, "2": render_table2,
+                 "3": render_table3, "5": render_table5}
+    if args.number == "4":
+        print(render_table4())   # needs the full suite (several minutes)
+        return 0
+    renderer = renderers.get(args.number)
+    if renderer is None:
+        print("tables: 1, 2, 3, 4, 5", file=sys.stderr)
+        return 2
+    print(renderer())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    key = args.name.lower()
+    if key == "6a":
+        print(render_figure6(figure6a_execution_time(),
+                             "Figure 6(a): normalized execution time"))
+    elif key == "6b":
+        print(render_figure6(figure6b_battery(),
+                             "Figure 6(b): normalized battery"))
+    elif key == "7":
+        print(render_figure7())
+    elif key == "8":
+        print(render_figure8())
+    else:
+        print("figures: 6a, 6b, 7, 8", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Native Offloader (MICRO 2015) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(
+        func=cmd_list)
+
+    p = sub.add_parser("compile", help="compile one workload and show "
+                                       "the offload plan")
+    p.add_argument("workload")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="offload one workload end to end")
+    p.add_argument("workload")
+    p.add_argument("--network", default="802.11ac",
+                   help=f"one of {sorted(NETWORKS)}")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", help="1|2|3|4|5")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure "
+                                      "(runs the full suite)")
+    p.add_argument("name", help="6a|6b|7|8")
+    p.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

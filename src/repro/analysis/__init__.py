@@ -1,0 +1,8 @@
+"""Static analyses over the IR: CFG, dominators, natural loops, call graph."""
+
+from .cfg import CFG
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo
+from .callgraph import CallGraph
+
+__all__ = ["CFG", "DominatorTree", "Loop", "LoopInfo", "CallGraph"]

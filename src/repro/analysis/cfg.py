@@ -1,0 +1,53 @@
+"""Control-flow graph utilities over IR functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.values import BasicBlock, Function
+
+
+class CFG:
+    """Successor/predecessor maps plus reachability for one function."""
+
+    def __init__(self, fn: Function):
+        if not fn.is_definition:
+            raise ValueError(f"cannot build CFG of external {fn.name}")
+        self.function = fn
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in fn.blocks:
+            self.successors[block] = block.successors()
+            self.predecessors.setdefault(block, [])
+        for block in fn.blocks:
+            for succ in self.successors[block]:
+                self.predecessors.setdefault(succ, []).append(block)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def reachable_blocks(self) -> List[BasicBlock]:
+        """Blocks reachable from the entry, in reverse post-order."""
+        visited: Set[int] = set()
+        order: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            if id(block) in visited:
+                return
+            visited.add(id(block))
+            for succ in self.successors.get(block, []):
+                visit(succ)
+            order.append(block)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def remove_unreachable_blocks(self) -> int:
+        """Drop blocks not reachable from entry; returns how many."""
+        reachable = set(id(b) for b in self.reachable_blocks())
+        dead = [b for b in self.function.blocks if id(b) not in reachable]
+        for block in dead:
+            self.function.blocks.remove(block)
+        return len(dead)

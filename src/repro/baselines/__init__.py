@@ -1,0 +1,13 @@
+"""Comparison baselines: conservative static partitioning and VM-based
+offloading (the two related-work classes the paper argues against)."""
+
+from .static_partition import StaticPartitioner, StaticPartitionResult
+from .vm_offload import (DEFAULT_VM_COVERAGE, DEFAULT_VM_SLOWDOWN,
+                         DSM_OVERHEAD_FRACTION, VMOffloadEstimate,
+                         can_offload_native)
+
+__all__ = [
+    "StaticPartitioner", "StaticPartitionResult",
+    "DEFAULT_VM_COVERAGE", "DEFAULT_VM_SLOWDOWN", "DSM_OVERHEAD_FRACTION",
+    "VMOffloadEstimate", "can_offload_native",
+]

@@ -1,0 +1,30 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from .runner import (CONFIG_NETWORKS, ProgramResult, clear_cache, evaluate,
+                     evaluate_suite, geomean, run_program)
+from .format import bar, format_table, sparkline
+from .tables import (Table1Row, Table3Row, Table4Row, SystemComparison,
+                     TABLE1_DIFFICULTIES, TABLE5_SYSTEMS, render_table1,
+                     render_table2, render_table3, render_table4,
+                     render_table5, table1_chess_gap, table2_native_ratios,
+                     table3_estimation, table4_offload_details,
+                     table5_system_comparison)
+from .figures import (BREAKDOWN_KEYS, Figure6Row, Figure7Row, PowerSeries,
+                      figure6a_execution_time, figure6b_battery,
+                      figure7_breakdown, figure8_power_traces, geomean_row,
+                      render_figure6, render_figure7, render_figure8)
+
+__all__ = [
+    "CONFIG_NETWORKS", "ProgramResult", "clear_cache", "evaluate",
+    "evaluate_suite", "geomean", "run_program",
+    "bar", "format_table", "sparkline",
+    "Table1Row", "Table3Row", "Table4Row", "SystemComparison",
+    "TABLE1_DIFFICULTIES", "TABLE5_SYSTEMS", "render_table1",
+    "render_table2", "render_table3", "render_table4", "render_table5",
+    "table1_chess_gap", "table2_native_ratios", "table3_estimation",
+    "table4_offload_details", "table5_system_comparison",
+    "BREAKDOWN_KEYS", "Figure6Row", "Figure7Row", "PowerSeries",
+    "figure6a_execution_time", "figure6b_battery", "figure7_breakdown",
+    "figure8_power_traces", "geomean_row", "render_figure6",
+    "render_figure7", "render_figure8",
+]

@@ -1,0 +1,59 @@
+"""Plain-text rendering helpers for tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def bar(value: float, scale: float = 1.0, width: int = 40,
+        fill: str = "#") -> str:
+    """A horizontal ASCII bar for figure-style output."""
+    if scale <= 0:
+        return ""
+    n = int(round(min(value / scale, 1.0) * width))
+    return fill * n
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a one-line sparkline."""
+    if not values:
+        return ""
+    marks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    return "".join(
+        marks[int((v - lo) / span * (len(marks) - 1))] for v in values)

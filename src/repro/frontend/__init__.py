@@ -1,0 +1,20 @@
+"""Mini-C frontend: preprocess, lex, parse and lower C to the IR.
+
+The Native Offloader design is frontend-agnostic (any language that lowers
+to the IR can be offloaded); this package provides the C frontend used by
+the SPEC-like workloads.
+"""
+
+from .lexer import LexError, Token, preprocess, tokenize
+from .parser import ParseError, Parser, parse_c
+from .codegen import CodeGen, CodegenError
+from .driver import STANDARD_PREDEFINES, compile_c
+from .builtins import BUILTIN_SIGNATURES
+
+__all__ = [
+    "LexError", "Token", "preprocess", "tokenize",
+    "ParseError", "Parser", "parse_c",
+    "CodeGen", "CodegenError",
+    "STANDARD_PREDEFINES", "compile_c",
+    "BUILTIN_SIGNATURES",
+]

@@ -1,0 +1,77 @@
+"""Known external (libc / runtime) function signatures for the frontend.
+
+Functions in this table are implicitly declared on first use, mirroring how
+real builds link against libc.  Anything *not* in this table that ends up as
+an external call is an "unknown external library call", which the offload
+function filter treats as machine specific (paper, Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import ctypes as ct
+
+VOIDP = ct.CPointer(ct.VOID)
+CHARP = ct.CPointer(ct.CHAR)
+
+
+def _fn(ret, params, variadic=False) -> ct.CFunc:
+    return ct.CFunc(ret, list(params), variadic)
+
+
+BUILTIN_SIGNATURES: Dict[str, ct.CFunc] = {
+    # allocation
+    "malloc": _fn(VOIDP, [ct.ULONG]),
+    "free": _fn(ct.VOID, [VOIDP]),
+    "calloc": _fn(VOIDP, [ct.ULONG, ct.ULONG]),
+    "realloc": _fn(VOIDP, [VOIDP, ct.ULONG]),
+    "u_malloc": _fn(VOIDP, [ct.ULONG]),
+    "u_free": _fn(ct.VOID, [VOIDP]),
+    # memory / strings
+    "memcpy": _fn(VOIDP, [VOIDP, VOIDP, ct.ULONG]),
+    "memmove": _fn(VOIDP, [VOIDP, VOIDP, ct.ULONG]),
+    "memset": _fn(VOIDP, [VOIDP, ct.INT, ct.ULONG]),
+    "strlen": _fn(ct.ULONG, [CHARP]),
+    "strcpy": _fn(CHARP, [CHARP, CHARP]),
+    "strncpy": _fn(CHARP, [CHARP, CHARP, ct.ULONG]),
+    "strcmp": _fn(ct.INT, [CHARP, CHARP]),
+    "strncmp": _fn(ct.INT, [CHARP, CHARP, ct.ULONG]),
+    "strcat": _fn(CHARP, [CHARP, CHARP]),
+    "atoi": _fn(ct.INT, [CHARP]),
+    # stdio
+    "printf": _fn(ct.INT, [CHARP], variadic=True),
+    "sprintf": _fn(ct.INT, [CHARP, CHARP], variadic=True),
+    "puts": _fn(ct.INT, [CHARP]),
+    "putchar": _fn(ct.INT, [ct.INT]),
+    "scanf": _fn(ct.INT, [CHARP], variadic=True),
+    "getchar": _fn(ct.INT, []),
+    "fopen": _fn(VOIDP, [CHARP, CHARP]),
+    "fclose": _fn(ct.INT, [VOIDP]),
+    "fread": _fn(ct.ULONG, [VOIDP, ct.ULONG, ct.ULONG, VOIDP]),
+    "fwrite": _fn(ct.ULONG, [VOIDP, ct.ULONG, ct.ULONG, VOIDP]),
+    "fgets": _fn(CHARP, [CHARP, ct.INT, VOIDP]),
+    "fgetc": _fn(ct.INT, [VOIDP]),
+    "feof": _fn(ct.INT, [VOIDP]),
+    "fprintf": _fn(ct.INT, [VOIDP, CHARP], variadic=True),
+    # math
+    "sqrt": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "fabs": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "sin": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "cos": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "tan": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "exp": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "log": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "floor": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "ceil": _fn(ct.DOUBLE, [ct.DOUBLE]),
+    "pow": _fn(ct.DOUBLE, [ct.DOUBLE, ct.DOUBLE]),
+    "fmod": _fn(ct.DOUBLE, [ct.DOUBLE, ct.DOUBLE]),
+    "atan2": _fn(ct.DOUBLE, [ct.DOUBLE, ct.DOUBLE]),
+    "abs": _fn(ct.INT, [ct.INT]),
+    "labs": _fn(ct.LONG, [ct.LONG]),
+    # misc
+    "rand": _fn(ct.INT, []),
+    "srand": _fn(ct.VOID, [ct.UINT]),
+    "exit": _fn(ct.VOID, [ct.INT]),
+    "clock_ms": _fn(ct.LONG, []),
+}

@@ -1,0 +1,49 @@
+"""Frontend driver: C source string -> verified IR module."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..targets.arch import TargetArch
+from ..targets.presets import ARM32
+from .codegen import CodeGen
+from .parser import parse_c
+
+# Predefined macros available to every compilation, standing in for the
+# usual stdlib headers.
+STANDARD_PREDEFINES: Dict[str, str] = {
+    "NULL": "0",
+    "TRUE": "1",
+    "FALSE": "0",
+    "bool": "int",
+    "true": "1",
+    "false": "0",
+    "size_t": "unsigned long",
+    "FILE": "void",
+    "EOF": "(-1)",
+    "INT_MAX": "2147483647",
+    "INT_MIN": "(-2147483647 - 1)",
+    "RAND_MAX": "2147483647",
+}
+
+
+def compile_c(source: str, name: str = "module",
+              target: TargetArch = ARM32,
+              predefines: Optional[Dict[str, str]] = None,
+              verify: bool = True) -> Module:
+    """Compile a mini-C source string to an IR module.
+
+    ``target`` fixes compile-time layout decisions (``sizeof``); per the
+    paper this is the *mobile* architecture, whose layout the memory
+    unification passes later impose on the server too.
+    """
+    defines = dict(STANDARD_PREDEFINES)
+    if predefines:
+        defines.update(predefines)
+    unit = parse_c(source, defines)
+    module = CodeGen(target).compile(unit, name)
+    if verify:
+        verify_module(module)
+    return module

@@ -1,0 +1,35 @@
+"""Typed, LLVM-like intermediate representation.
+
+The Native Offloader compiler operates at IR level so that one partitioning
+pipeline serves any source language and any pair of target architectures
+(paper, Section 2).
+"""
+
+from .types import (ArrayType, FloatType, FunctionType, IRType, IntType,
+                    PointerType, StructType, VoidType, VOID, I1, I8, I16, I32,
+                    I64, F32, F64, ptr, array)
+from .values import (AggregateInit, Argument, BasicBlock, BytesInit, Constant,
+                     Function, FunctionRefInit, GlobalRefInit, GlobalVariable,
+                     Initializer, ScalarInit, UndefValue, Value, ZeroInit)
+from .instructions import (Alloca, BinOp, Br, Call, Cast, Cmp, CondBr, Gep,
+                           InlineAsm, Instruction, Load, Ret, Select, Store,
+                           Switch, Syscall, Unreachable, BINOPS, CMP_PREDS,
+                           CAST_OPS)
+from .module import Module
+from .builder import IRBuilder
+from .verifier import VerificationError, verify_module
+from .printer import print_function, print_module
+
+__all__ = [
+    "ArrayType", "FloatType", "FunctionType", "IRType", "IntType",
+    "PointerType", "StructType", "VoidType", "VOID", "I1", "I8", "I16",
+    "I32", "I64", "F32", "F64", "ptr", "array",
+    "AggregateInit", "Argument", "BasicBlock", "BytesInit", "Constant",
+    "Function", "FunctionRefInit", "GlobalRefInit", "GlobalVariable",
+    "Initializer", "ScalarInit", "UndefValue", "Value", "ZeroInit",
+    "Alloca", "BinOp", "Br", "Call", "Cast", "Cmp", "CondBr", "Gep",
+    "InlineAsm", "Instruction", "Load", "Ret", "Select", "Store", "Switch",
+    "Syscall", "Unreachable", "BINOPS", "CMP_PREDS", "CAST_OPS",
+    "Module", "IRBuilder", "VerificationError", "verify_module",
+    "print_function", "print_module",
+]

@@ -1,0 +1,155 @@
+"""Textual (LLVM-flavoured) rendering of IR modules, for debugging and for
+golden tests of the compiler passes."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import instructions as inst
+from .module import Module
+from .values import (BasicBlock, Constant, Function, GlobalVariable,
+                     Initializer, AggregateInit, BytesInit, FunctionRefInit,
+                     GlobalRefInit, ScalarInit, UndefValue, Value, ZeroInit)
+
+
+def print_module(module: Module) -> str:
+    lines = [f"; module {module.name}"]
+    for struct in module.structs.values():
+        if struct.is_opaque:
+            lines.append(f"%{struct.name} = type opaque")
+        else:
+            body = ", ".join(f"{t} {n}" for n, t in struct.fields)
+            lines.append(f"%{struct.name} = type {{ {body} }}")
+    if module.structs:
+        lines.append("")
+    for gv in module.globals.values():
+        kind = "constant" if gv.constant else "global"
+        uva = " uva" if gv.uva_allocated else ""
+        lines.append(f"@{gv.name} = {kind}{uva} {gv.value_type} "
+                     f"{_init_str(gv.initializer)}")
+    if module.globals:
+        lines.append("")
+    for fn in module.functions.values():
+        lines.append(print_function(fn))
+    return "\n".join(lines)
+
+
+def _init_str(init: Initializer) -> str:
+    if isinstance(init, ZeroInit):
+        return "zeroinitializer"
+    if isinstance(init, ScalarInit):
+        return str(init.value)
+    if isinstance(init, BytesInit):
+        return f"c{init.data!r}"
+    if isinstance(init, AggregateInit):
+        return "[" + ", ".join(_init_str(e) for e in init.elements) + "]"
+    if isinstance(init, FunctionRefInit):
+        return f"@{init.function_name}"
+    if isinstance(init, GlobalRefInit):
+        return f"@{init.global_name}+{init.offset}"
+    return repr(init)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    if fn.ftype.variadic:
+        params = params + ", ..." if params else "..."
+    header = f"{fn.ftype.ret} @{fn.name}({params})"
+    if not fn.is_definition:
+        return f"declare {header}"
+    names = _NameAssigner(fn)
+    lines = [f"define {header} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instruction in block.instructions:
+            lines.append("  " + _inst_str(instruction, names))
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+class _NameAssigner:
+    """Gives every instruction result a unique local name for printing."""
+
+    def __init__(self, fn: Function):
+        self._names: Dict[int, str] = {}
+        used = set()
+        for arg in fn.args:
+            self._names[id(arg)] = f"%{arg.name}"
+            used.add(arg.name)
+        counter = 0
+        for instruction in fn.instructions():
+            if instruction.type.is_void:
+                continue
+            name = instruction.name or f"t{counter}"
+            while name in used:
+                counter += 1
+                name = f"t{counter}"
+            used.add(name)
+            self._names[id(instruction)] = f"%{name}"
+
+    def of(self, value: Value) -> str:
+        if isinstance(value, (Constant, UndefValue, GlobalVariable, Function)):
+            return value.short()
+        if isinstance(value, BasicBlock):
+            return f"label %{value.name}"
+        return self._names.get(id(value), value.short())
+
+
+def _inst_str(instruction: inst.Instruction, names: _NameAssigner) -> str:
+    result = ""
+    if not instruction.type.is_void:
+        result = f"{names.of(instruction)} = "
+
+    if isinstance(instruction, inst.Alloca):
+        return f"{result}alloca {instruction.allocated_type}"
+    if isinstance(instruction, inst.Load):
+        return (f"{result}load {instruction.type}, "
+                f"{names.of(instruction.pointer)}")
+    if isinstance(instruction, inst.Store):
+        return (f"store {instruction.value.type} "
+                f"{names.of(instruction.value)}, "
+                f"{names.of(instruction.pointer)}")
+    if isinstance(instruction, inst.Gep):
+        idx = ", ".join(names.of(i) for i in instruction.indices)
+        return f"{result}gep {names.of(instruction.base)}, [{idx}]"
+    if isinstance(instruction, inst.BinOp):
+        return (f"{result}{instruction.op} {instruction.type} "
+                f"{names.of(instruction.lhs)}, {names.of(instruction.rhs)}")
+    if isinstance(instruction, inst.Cmp):
+        return (f"{result}cmp {instruction.pred} {instruction.lhs.type} "
+                f"{names.of(instruction.lhs)}, {names.of(instruction.rhs)}")
+    if isinstance(instruction, inst.Cast):
+        return (f"{result}{instruction.op} {instruction.value.type} "
+                f"{names.of(instruction.value)} to {instruction.type}")
+    if isinstance(instruction, inst.Select):
+        cond, t, f = instruction.operands
+        return (f"{result}select {names.of(cond)}, {names.of(t)}, "
+                f"{names.of(f)}")
+    if isinstance(instruction, inst.Call):
+        args = ", ".join(f"{a.type} {names.of(a)}" for a in instruction.args)
+        marker = "call indirect" if instruction.is_indirect else "call"
+        return (f"{result}{marker} {instruction.ftype.ret} "
+                f"{names.of(instruction.callee)}({args})")
+    if isinstance(instruction, inst.InlineAsm):
+        return f'asm "{instruction.text}"'
+    if isinstance(instruction, inst.Syscall):
+        return f"{result}syscall {instruction.number}"
+    if isinstance(instruction, inst.Br):
+        return f"br label %{instruction.target.name}"
+    if isinstance(instruction, inst.CondBr):
+        return (f"br {names.of(instruction.cond)}, "
+                f"label %{instruction.if_true.name}, "
+                f"label %{instruction.if_false.name}")
+    if isinstance(instruction, inst.Switch):
+        cases = ", ".join(f"{c} -> %{b.name}" for c, b in instruction.cases)
+        return (f"switch {names.of(instruction.value)}, "
+                f"default %{instruction.default.name} [{cases}]")
+    if isinstance(instruction, inst.Ret):
+        if instruction.value is None:
+            return "ret void"
+        return (f"ret {instruction.value.type} "
+                f"{names.of(instruction.value)}")
+    if isinstance(instruction, inst.Unreachable):
+        return "unreachable"
+    return f"{result}{instruction.opcode} <?>"

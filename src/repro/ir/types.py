@@ -1,0 +1,232 @@
+"""Type system for the Native Offloader intermediate representation.
+
+The IR is a small, typed, LLVM-like representation.  Types are *abstract*:
+they carry no size or alignment information by themselves.  Concrete sizes,
+alignments and struct field offsets are assigned per target architecture by
+the ABI layout engine in :mod:`repro.targets.abi`.  That split is the whole
+point of the paper: the same IR type can have *different* memory layouts on
+the mobile device (e.g. 32-bit ARM) and the server (e.g. x86-64), and the
+memory-unification passes exist to reconcile them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class IRType:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_float or self.is_pointer
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(IRType):
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(IRType):
+    """An integer type of a given bit width.
+
+    Signedness is a property of *operations* (sdiv/udiv, sext/zext), not of
+    the type, exactly as in LLVM.  The frontend tracks C signedness and emits
+    the appropriate operations.
+    """
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    def _key(self):
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+class FloatType(IRType):
+    """An IEEE-754 floating point type (32- or 64-bit)."""
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    def _key(self):
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(IRType):
+    """A pointer to a pointee type.
+
+    Pointer *width* is target-dependent (4 bytes on ARM32, 8 on x86-64);
+    this is what the address-size conversion pass reconciles.
+    """
+
+    def __init__(self, pointee: IRType):
+        self.pointee = pointee
+
+    def _key(self):
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(IRType):
+    def __init__(self, element: IRType, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    def _key(self):
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class StructType(IRType):
+    """A named struct with ordered, named fields.
+
+    Structs are *nominal*: two structs are the same type iff they have the
+    same name.  Field offsets are not stored here — they are computed by the
+    per-target ABI engine, or overridden by the unified layout produced by
+    the memory-layout realignment pass (Section 3.2 of the paper).
+    """
+
+    def __init__(self, name: str,
+                 fields: Optional[Sequence[Tuple[str, IRType]]] = None):
+        self.name = name
+        self._fields: Optional[List[Tuple[str, IRType]]] = None
+        if fields is not None:
+            self.set_body(fields)
+
+    def set_body(self, fields: Sequence[Tuple[str, IRType]]) -> None:
+        names = [f[0] for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in struct {self.name}")
+        self._fields = [(n, t) for n, t in fields]
+
+    @property
+    def is_opaque(self) -> bool:
+        return self._fields is None
+
+    @property
+    def fields(self) -> List[Tuple[str, IRType]]:
+        if self._fields is None:
+            raise ValueError(f"struct {self.name} is opaque")
+        return list(self._fields)
+
+    @property
+    def field_names(self) -> List[str]:
+        return [n for n, _ in self.fields]
+
+    @property
+    def field_types(self) -> List[IRType]:
+        return [t for _, t in self.fields]
+
+    def field_index(self, name: str) -> int:
+        for i, (n, _) in enumerate(self.fields):
+            if n == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def _key(self):
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(IRType):
+    def __init__(self, ret: IRType, params: Sequence[IRType],
+                 variadic: bool = False):
+        self.ret = ret
+        self.params = list(params)
+        self.variadic = variadic
+
+    def _key(self):
+        return (self.ret, tuple(self.params), self.variadic)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            params = params + ", ..." if params else "..."
+        return f"{self.ret} ({params})"
+
+
+# Canonical singletons used throughout the code base.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: IRType) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def array(element: IRType, count: int) -> ArrayType:
+    """Shorthand for :class:`ArrayType`."""
+    return ArrayType(element, count)

@@ -1,0 +1,113 @@
+"""First-fit free-list allocator used for native heaps and the UVA heap.
+
+The UVA heap allocator must behave *identically* on the mobile device and
+the server (same base, same policy), so that u_malloc produces the same
+addresses on both sides and pointers stay valid across migration.  The
+allocator is deliberately deterministic and its state is serializable so the
+runtime can hand it across machines at offload boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class OutOfMemoryError(Exception):
+    pass
+
+
+class Allocator:
+    def __init__(self, base: int, size: int, align: int = 16):
+        if base <= 0:
+            raise ValueError("allocator base must be positive (0 is NULL)")
+        self.base = base
+        self.size = size
+        self.align = align
+        # Sorted list of free (start, size) extents.
+        self.free_list: List[Tuple[int, int]] = [(base, size)]
+        self.allocations: Dict[int, int] = {}  # addr -> size
+        self.peak_bytes = 0
+        self.live_bytes = 0
+        self.total_allocated = 0
+
+    def alloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        size = _round_up(size, self.align)
+        for i, (start, extent) in enumerate(self.free_list):
+            if extent >= size:
+                self.free_list[i] = (start + size, extent - size)
+                if self.free_list[i][1] == 0:
+                    del self.free_list[i]
+                self.allocations[start] = size
+                self.live_bytes += size
+                self.total_allocated += size
+                self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+                return start
+        raise OutOfMemoryError(
+            f"cannot allocate {size} bytes from heap at {self.base:#x}")
+
+    def free(self, addr: int) -> None:
+        if addr == 0:
+            return
+        size = self.allocations.pop(addr, None)
+        if size is None:
+            raise ValueError(f"free of unallocated address {addr:#x}")
+        self.live_bytes -= size
+        self._insert_free(addr, size)
+
+    def size_of(self, addr: int) -> Optional[int]:
+        return self.allocations.get(addr)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def _insert_free(self, addr: int, size: int) -> None:
+        # Insert keeping order, coalescing with neighbours.
+        lo, hi = 0, len(self.free_list)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.free_list[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.free_list.insert(lo, (addr, size))
+        self._coalesce(lo)
+        if lo > 0:
+            self._coalesce(lo - 1)
+
+    def _coalesce(self, index: int) -> None:
+        while index + 1 < len(self.free_list):
+            start, size = self.free_list[index]
+            nstart, nsize = self.free_list[index + 1]
+            if start + size == nstart:
+                self.free_list[index] = (start, size + nsize)
+                del self.free_list[index + 1]
+            else:
+                break
+
+    # -- state transfer ----------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "base": self.base,
+            "size": self.size,
+            "align": self.align,
+            "free_list": list(self.free_list),
+            "allocations": dict(self.allocations),
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "total_allocated": self.total_allocated,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state["base"] != self.base or state["size"] != self.size:
+            raise ValueError("allocator geometry mismatch")
+        self.free_list = [tuple(e) for e in state["free_list"]]
+        self.allocations = dict(state["allocations"])
+        self.live_bytes = state["live_bytes"]
+        self.peak_bytes = state["peak_bytes"]
+        self.total_allocated = state["total_allocated"]
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align

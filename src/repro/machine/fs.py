@@ -1,0 +1,116 @@
+"""Simulated I/O environment of a machine: file system, stdin script,
+captured stdout/stderr.
+
+The mobile device owns the real environment; the server sees I/O only
+through the remote I/O manager (paper, Section 3.4).  Keeping the
+environment an explicit object makes "remote" I/O a matter of routing calls
+to the *mobile* environment and charging network cost.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional
+
+
+class SimFile:
+    """An open file: a byte buffer plus a cursor."""
+
+    def __init__(self, path: str, data: bytearray, writable: bool,
+                 append: bool = False):
+        self.path = path
+        self.data = data
+        self.writable = writable
+        self.pos = len(data) if append else 0
+        self.closed = False
+
+    def read(self, size: int) -> bytes:
+        chunk = bytes(self.data[self.pos:self.pos + size])
+        self.pos += len(chunk)
+        return chunk
+
+    def read_line(self, limit: int) -> bytes:
+        end = self.data.find(b"\n", self.pos, self.pos + limit - 1)
+        if end < 0:
+            return self.read(limit - 1)
+        return self.read(end - self.pos + 1)
+
+    def write(self, data: bytes) -> int:
+        if not self.writable:
+            return 0
+        end = self.pos + len(data)
+        if end > len(self.data):
+            self.data.extend(b"\x00" * (end - len(self.data)))
+        self.data[self.pos:end] = data
+        self.pos = end
+        return len(data)
+
+    @property
+    def at_eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+class IOEnvironment:
+    """File system + standard streams for one machine."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None,
+                 stdin: bytes = b""):
+        self.files: Dict[str, bytearray] = {
+            path: bytearray(data) for path, data in (files or {}).items()}
+        self.stdin = io.BytesIO(stdin)
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+        self.open_files: Dict[int, SimFile] = {}
+        self._next_handle = 16  # 0-2 reserved for stdio, keep a gap
+        # Counters for the evaluation harness.
+        self.stdout_ops = 0
+        self.file_ops = 0
+
+    # -- files ----------------------------------------------------------
+    def add_file(self, path: str, data: bytes) -> None:
+        self.files[path] = bytearray(data)
+
+    def open(self, path: str, mode: str) -> int:
+        """Returns a handle (>0) or 0 on failure, like fopen's NULL."""
+        self.file_ops += 1
+        reading = "r" in mode
+        writable = any(m in mode for m in ("w", "a", "+"))
+        if reading and path not in self.files and "+" not in mode:
+            return 0
+        if "w" in mode:
+            self.files[path] = bytearray()
+        elif path not in self.files:
+            self.files[path] = bytearray()
+        handle = self._next_handle
+        self._next_handle += 1
+        self.open_files[handle] = SimFile(
+            path, self.files[path], writable or "a" in mode,
+            append="a" in mode)
+        return handle
+
+    def file(self, handle: int) -> Optional[SimFile]:
+        return self.open_files.get(handle)
+
+    def close(self, handle: int) -> int:
+        f = self.open_files.pop(handle, None)
+        if f is None:
+            return -1
+        f.closed = True
+        return 0
+
+    # -- standard streams ---------------------------------------------------
+    def write_stdout(self, data: bytes) -> None:
+        self.stdout_ops += 1
+        self.stdout.extend(data)
+
+    def write_stderr(self, data: bytes) -> None:
+        self.stderr.extend(data)
+
+    def read_stdin(self, size: int) -> bytes:
+        return self.stdin.read(size)
+
+    def stdout_text(self) -> str:
+        return self.stdout.decode("utf-8", errors="replace")
+
+    def stderr_text(self) -> str:
+        return self.stderr.decode("utf-8", errors="replace")

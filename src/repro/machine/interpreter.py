@@ -1,0 +1,598 @@
+"""IR interpreter with per-architecture cycle accounting.
+
+This is the "CPU" of a simulated machine.  Execution is functionally exact
+(byte-accurate memory, real control flow) while *time* is modelled: every
+executed instruction charges cycles from the target's timing model, so the
+same program takes ~5-6x longer on the ARM mobile profile than on the x86
+server profile — the gap the paper's Table 1 measures.
+
+The interpreter also charges and counts the two memory-unification
+overheads the paper discusses: address-size conversion (negligible) and
+endianness translation (zero on the default little/little pair).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir import instructions as inst
+from ..ir.types import ArrayType, FloatType, IntType, PointerType, StructType
+from ..ir.values import (Argument, BasicBlock, Constant, Function,
+                         GlobalVariable, UndefValue, Value)
+from .machine import Machine, STACK_SIZE
+from .values import decode_scalar, encode_scalar, scalar_size, to_signed, to_unsigned
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class BadFunctionPointer(InterpreterError):
+    """Indirect call through an address that is not a function entry point
+    on this machine — e.g. a *mobile* code address dereferenced on the
+    server without function-pointer mapping."""
+
+    def __init__(self, address: int):
+        super().__init__(f"indirect call to non-function address {address:#x}")
+        self.address = address
+
+
+class StackOverflow(InterpreterError):
+    pass
+
+
+class ExecutionLimitExceeded(InterpreterError):
+    pass
+
+
+class ExitProgram(Exception):
+    """Raised by the exit() builtin to unwind the interpreter."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class Observer:
+    """Hook interface for profilers and the offload runtime.  All methods
+    are optional no-ops.  ``wants_memory`` / ``wants_blocks`` let cheap
+    observers (e.g. the runtime's target timer) opt out of the hot
+    per-access and per-block callbacks."""
+
+    wants_memory = True
+    wants_blocks = True
+
+    def enter_function(self, fn: Function, cycles: float) -> None:
+        pass
+
+    def exit_function(self, fn: Function, cycles: float) -> None:
+        pass
+
+    def enter_block(self, block: BasicBlock, cycles: float) -> None:
+        pass
+
+    def memory_access(self, address: int, size: int, is_write: bool) -> None:
+        pass
+
+    def heap_alloc(self, size: int) -> None:
+        pass
+
+
+_DIV_OPS = {"sdiv", "udiv", "srem", "urem", "fdiv", "frem"}
+
+
+class Interpreter:
+    """Executes IR on a :class:`Machine`."""
+
+    def __init__(self, machine: Machine,
+                 observer: Optional[Observer] = None,
+                 max_instructions: int = 500_000_000):
+        self.machine = machine
+        self.observer = observer
+        self._mem_observer = (observer if observer is not None
+                              and observer.wants_memory else None)
+        self._block_observer = (observer if observer is not None
+                                and observer.wants_blocks else None)
+        self.max_instructions = max_instructions
+        self.sp = machine.stack_top
+        self.instruction_count = 0
+        self.cycles = 0.0
+        self.cycles_by_class: Dict[str, float] = {}
+        self.call_depth = 0
+        # Deep guest recursion needs several Python frames per guest
+        # frame; lift the interpreter limit so the *simulated* stack (or
+        # the call-depth guard) is what overflows, deterministically.
+        if sys.getrecursionlimit() < 30000:
+            sys.setrecursionlimit(30000)
+        from ..targets.arch import CYCLE_TIME_SCALE
+        self._scale = CYCLE_TIME_SCALE
+        self._cycle_table = {k: v * self._scale
+                             for k, v in machine.arch.cycles.items()}
+        # Per-instruction execution plans (layout-dependent constants are
+        # resolved once; the data layout is fixed for an interpreter's
+        # lifetime).
+        self._access_plans: Dict[int, tuple] = {}
+        self._gep_plans: Dict[int, list] = {}
+
+    # -- accounting -----------------------------------------------------
+    def charge(self, inst_class: str, count: float = 1.0) -> None:
+        amount = self._cycle_table[inst_class] * count
+        self.cycles += amount
+        self.cycles_by_class[inst_class] = (
+            self.cycles_by_class.get(inst_class, 0.0) + amount)
+
+    def charge_cycles(self, cycles: float, inst_class: str = "alu") -> None:
+        scaled = cycles * self._scale
+        self.cycles += scaled
+        self.cycles_by_class[inst_class] = (
+            self.cycles_by_class.get(inst_class, 0.0) + scaled)
+
+    def charge_raw_cycles(self, cycles: float,
+                          inst_class: str = "alu") -> None:
+        """Charge unscaled cycles — for runtime services whose cost is a
+        real machine-cycle figure (e.g. a hash-table lookup), not an
+        IR-operation bundle."""
+        self.cycles += cycles
+        self.cycles_by_class[inst_class] = (
+            self.cycles_by_class.get(inst_class, 0.0) + cycles)
+
+    @property
+    def time_seconds(self) -> float:
+        return self.cycles / self.machine.arch.clock_hz
+
+    # -- entry points ---------------------------------------------------
+    def call_by_name(self, name: str, args: Sequence = ()):
+        fn = self.machine.module.function(name)
+        return self.call_function(fn, list(args))
+
+    def run_main(self, argv: Sequence[str] = ()) -> int:
+        """Execute ``main`` like a C runtime would; returns the exit code."""
+        main = self.machine.module.get_function("main")
+        if main is None:
+            raise InterpreterError("module has no main function")
+        args: List = []
+        if len(main.ftype.params) >= 1:
+            args.append(to_unsigned(len(argv) + 1, 32))
+        if len(main.ftype.params) >= 2:
+            args.append(0)  # argv pointer: not modelled
+        try:
+            result = self.call_function(main, args)
+        except ExitProgram as exit_:
+            return exit_.code
+        return to_signed(result, 32) if result is not None else 0
+
+    # -- call machinery --------------------------------------------------
+    def call_function(self, fn: Function, args: List):
+        if not fn.is_definition:
+            return self._call_external(fn, args)
+        if self.call_depth > 4000:
+            raise StackOverflow(f"call depth exceeded in {fn.name}")
+        self.charge("call")
+        if self.observer is not None:
+            self.observer.enter_function(fn, self.cycles)
+        saved_sp = self.sp
+        self.call_depth += 1
+        frame: Dict[int, object] = {}
+        for arg, value in zip(fn.args, args):
+            frame[id(arg)] = value
+        try:
+            result = self._run_blocks(fn, frame)
+        finally:
+            self.call_depth -= 1
+            self.sp = saved_sp
+            if self.observer is not None:
+                self.observer.exit_function(fn, self.cycles)
+        return result
+
+    def _call_external(self, fn: Function, args: List):
+        builtin = self.machine.builtins.get(fn.name)
+        if builtin is None:
+            raise InterpreterError(
+                f"call to unknown external function {fn.name}")
+        self.charge("call")
+        return builtin(self, args)
+
+    # -- the dispatch loop ------------------------------------------------
+    def _run_blocks(self, fn: Function, frame: Dict[int, object]):
+        block = fn.entry
+        while True:
+            if self._block_observer is not None:
+                self._block_observer.enter_block(block, self.cycles)
+            next_block = None
+            for instruction in block.instructions:
+                self.instruction_count += 1
+                if self.instruction_count > self.max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_instructions} instructions")
+                op = instruction.opcode
+                if op == "binop":
+                    frame[id(instruction)] = self._exec_binop(instruction, frame)
+                elif op == "cmp":
+                    frame[id(instruction)] = self._exec_cmp(instruction, frame)
+                elif op == "load":
+                    frame[id(instruction)] = self._exec_load(instruction, frame)
+                elif op == "store":
+                    self._exec_store(instruction, frame)
+                elif op == "gep":
+                    frame[id(instruction)] = self._exec_gep(instruction, frame)
+                elif op == "cast":
+                    frame[id(instruction)] = self._exec_cast(instruction, frame)
+                elif op == "call":
+                    result = self._exec_call(instruction, frame)
+                    if not instruction.type.is_void:
+                        frame[id(instruction)] = result
+                elif op == "alloca":
+                    frame[id(instruction)] = self._exec_alloca(instruction)
+                elif op == "select":
+                    self.charge("alu")
+                    cond = self._value(instruction.operands[0], frame)
+                    picked = (instruction.operands[1] if cond
+                              else instruction.operands[2])
+                    frame[id(instruction)] = self._value(picked, frame)
+                elif op == "br":
+                    self.charge("branch")
+                    next_block = instruction.target
+                    break
+                elif op == "condbr":
+                    self.charge("branch")
+                    cond = self._value(instruction.cond, frame)
+                    next_block = (instruction.if_true if cond
+                                  else instruction.if_false)
+                    break
+                elif op == "switch":
+                    self.charge("branch")
+                    value = self._value(instruction.value, frame)
+                    next_block = instruction.default
+                    for const, target in instruction.cases:
+                        if to_unsigned(const, 64) == to_unsigned(value, 64):
+                            next_block = target
+                            break
+                    break
+                elif op == "ret":
+                    self.charge("branch")
+                    if instruction.value is None:
+                        return None
+                    return self._value(instruction.value, frame)
+                elif op == "asm":
+                    # Inline assembly executes natively on its home machine;
+                    # charge a token cost.
+                    self.charge("alu")
+                elif op == "syscall":
+                    self.charge("call")
+                    frame[id(instruction)] = 0
+                elif op == "unreachable":
+                    raise InterpreterError(
+                        f"reached unreachable in {fn.name}")
+                else:
+                    raise InterpreterError(f"unknown opcode {op}")
+            if next_block is None:
+                raise InterpreterError(
+                    f"block {block.name} in {fn.name} fell through")
+            block = next_block
+
+    # -- operand evaluation ------------------------------------------------
+    def _value(self, value: Value, frame: Dict[int, object]):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, (inst.Instruction, Argument)):
+            try:
+                return frame[id(value)]
+            except KeyError:
+                raise InterpreterError(
+                    f"use of undefined value {value.short()}") from None
+        if isinstance(value, GlobalVariable):
+            return self.machine.global_addresses[value.name]
+        if isinstance(value, Function):
+            return self.machine.function_addresses[value.name]
+        if isinstance(value, UndefValue):
+            return 0
+        raise InterpreterError(f"cannot evaluate {value!r}")
+
+    # -- instruction execution ----------------------------------------
+    def _exec_binop(self, instruction: inst.BinOp, frame):
+        op = instruction.op
+        self.charge("div" if op in _DIV_OPS
+                    else "fpu" if op.startswith("f") else "alu")
+        lhs = self._value(instruction.lhs, frame)
+        rhs = self._value(instruction.rhs, frame)
+        type_ = instruction.type
+        if isinstance(type_, FloatType):
+            return _float_binop(op, lhs, rhs)
+        bits = type_.bits
+        return _int_binop(op, lhs, rhs, bits)
+
+    def _exec_cmp(self, instruction: inst.Cmp, frame):
+        pred = instruction.pred
+        self.charge("fpu" if pred.startswith("f") else "alu")
+        lhs = self._value(instruction.lhs, frame)
+        rhs = self._value(instruction.rhs, frame)
+        type_ = instruction.lhs.type
+        if pred.startswith("f"):
+            return 1 if _float_cmp(pred, lhs, rhs) else 0
+        if pred in ("eq", "ne", "ult", "ule", "ugt", "uge") and not isinstance(
+                type_, IntType):
+            # pointer comparison: unsigned
+            bits = self.machine.layout.pointer_bytes * 8
+        else:
+            bits = type_.bits if isinstance(type_, IntType) else (
+                self.machine.layout.pointer_bytes * 8)
+        return 1 if _int_cmp(pred, lhs, rhs, bits) else 0
+
+    def _access_overheads(self, type_, size: int) -> None:
+        machine = self.machine
+        layout = machine.layout
+        if isinstance(type_, PointerType) and (
+                layout.pointer_bytes != machine.arch.pointer_bytes):
+            # Address-size conversion (Section 3.2): zero/trunc-extend on
+            # every pointer-sized memory access.  Negligible cost, counted.
+            machine.pointer_conversions += 1
+            self.charge("alu", 0.5)
+        if size > 1 and layout.byte_order != machine.arch.endianness:
+            # Endianness translation (Section 3.2): byte swap per access.
+            machine.endian_swaps += 1
+            self.charge("alu", 1.0)
+
+    def _access_plan(self, instruction, type_) -> tuple:
+        """(size, kind, extra_overhead) for a load/store; kind is 'i'
+        (int/pointer) or a struct.Struct for floats."""
+        plan = self._access_plans.get(id(instruction))
+        if plan is not None:
+            return plan
+        if not type_.is_scalar:
+            raise InterpreterError(
+                f"aggregate access of {type_}; the frontend must lower "
+                "struct copies to memcpy")
+        machine = self.machine
+        layout = machine.layout
+        size = scalar_size(type_, layout)
+        if type_.is_float:
+            import struct as _struct
+            fmt = ("<" if layout.byte_order == "little" else ">") + (
+                "f" if type_.bits == 32 else "d")
+            kind = _struct.Struct(fmt)
+        else:
+            kind = "i"
+        is_ptr_conv = (isinstance(type_, PointerType)
+                       and layout.pointer_bytes != machine.arch.pointer_bytes)
+        is_swap = (size > 1
+                   and layout.byte_order != machine.arch.endianness)
+        plan = (size, kind, is_ptr_conv, is_swap, layout.byte_order)
+        self._access_plans[id(instruction)] = plan
+        return plan
+
+    def _exec_load(self, instruction: inst.Load, frame):
+        self.charge("mem")
+        address = self._value(instruction.pointer, frame)
+        size, kind, ptr_conv, swap, order = self._access_plan(
+            instruction, instruction.type)
+        if self._mem_observer is not None:
+            self._mem_observer.memory_access(address, size, False)
+        data = self.machine.memory.read(address, size)
+        if ptr_conv:
+            self.machine.pointer_conversions += 1
+            self.charge("alu", 0.5)
+        if swap:
+            self.machine.endian_swaps += 1
+            self.charge("alu", 1.0)
+        if kind == "i":
+            return int.from_bytes(data, order)
+        return kind.unpack(data)[0]
+
+    def _exec_store(self, instruction: inst.Store, frame):
+        self.charge("mem")
+        address = self._value(instruction.pointer, frame)
+        value = self._value(instruction.value, frame)
+        size, kind, ptr_conv, swap, order = self._access_plan(
+            instruction, instruction.value.type)
+        if self._mem_observer is not None:
+            self._mem_observer.memory_access(address, size, True)
+        if ptr_conv:
+            self.machine.pointer_conversions += 1
+            self.charge("alu", 0.5)
+        if swap:
+            self.machine.endian_swaps += 1
+            self.charge("alu", 1.0)
+        if kind == "i":
+            if value >= (1 << (size * 8)):
+                raise OverflowError(
+                    f"pointer {value:#x} does not fit in {size} bytes; "
+                    "UVA addresses must stay below the unified pointer "
+                    "range")
+            data = value.to_bytes(size, order)
+        else:
+            data = kind.pack(value)
+        self.machine.memory.write(address, data)
+
+    def _gep_plan(self, instruction: inst.Gep) -> list:
+        plan = self._gep_plans.get(id(instruction))
+        if plan is not None:
+            return plan
+        layout = self.machine.layout
+        pointee = instruction.base.type.pointee
+        indices = instruction.indices
+        bits0 = (indices[0].type.bits
+                 if isinstance(indices[0].type, IntType) else 64)
+        plan = [("first", layout.size_of(pointee), bits0, indices[0])]
+        current = pointee
+        for index in indices[1:]:
+            if isinstance(current, StructType):
+                field = int(index.value)  # verified constant
+                plan.append(
+                    ("const",
+                     layout.struct_layout(current).offset_of(field)))
+                current = current.field_types[field]
+            elif isinstance(current, ArrayType):
+                ibits = (index.type.bits
+                         if isinstance(index.type, IntType) else 64)
+                plan.append(
+                    ("index", layout.size_of(current.element), ibits,
+                     index))
+                current = current.element
+            else:
+                raise InterpreterError(f"gep into non-aggregate {current}")
+        self._gep_plans[id(instruction)] = plan
+        return plan
+
+    def _exec_gep(self, instruction: inst.Gep, frame):
+        self.charge("alu")
+        base = self._value(instruction.base, frame)
+        offset = 0
+        for step in self._gep_plan(instruction):
+            tag = step[0]
+            if tag == "const":
+                offset += step[1]
+            else:
+                _, scale, bits, index = step
+                offset += to_signed(self._value(index, frame),
+                                    bits) * scale
+        return (base + offset) & 0xFFFFFFFFFFFFFFFF
+
+    def _exec_cast(self, instruction: inst.Cast, frame):
+        self.charge("alu")
+        value = self._value(instruction.value, frame)
+        op = instruction.op
+        src = instruction.value.type
+        dst = instruction.type
+        if op == "trunc":
+            return to_unsigned(value, dst.bits)
+        if op == "zext":
+            return to_unsigned(value, dst.bits)
+        if op == "sext":
+            return to_unsigned(to_signed(value, src.bits), dst.bits)
+        if op == "fptrunc" or op == "fpext":
+            return float(value)
+        if op == "fptosi":
+            return to_unsigned(int(value), dst.bits)
+        if op == "fptoui":
+            return to_unsigned(int(abs(value)), dst.bits)
+        if op == "sitofp":
+            return float(to_signed(value, src.bits))
+        if op == "uitofp":
+            return float(value)
+        if op == "ptrtoint":
+            return to_unsigned(value, dst.bits)
+        if op == "inttoptr":
+            return to_unsigned(value, 64)
+        if op == "bitcast":
+            return value
+        raise InterpreterError(f"unknown cast {op}")
+
+    def _exec_alloca(self, instruction: inst.Alloca) -> int:
+        self.charge("alu")
+        size = max(1, self.machine.layout.size_of(instruction.allocated_type))
+        size = (size + 15) // 16 * 16
+        self.sp -= size
+        if self.sp < self.machine.stack_top - STACK_SIZE:
+            raise StackOverflow("simulated stack exhausted")
+        self.machine.map_range(self.sp, size)
+        return self.sp
+
+    def _exec_call(self, instruction: inst.Call, frame):
+        args = [self._value(a, frame) for a in instruction.args]
+        callee = instruction.callee
+        if isinstance(callee, Function):
+            return self.call_function(callee, args)
+        # Indirect call: resolve the runtime address to a function on
+        # *this* machine.  Untranslated foreign addresses fault here.
+        address = self._value(callee, frame)
+        fn = self.machine.function_at(address)
+        if fn is None:
+            raise BadFunctionPointer(address)
+        return self.call_function(fn, args)
+
+
+# -- pure helpers ---------------------------------------------------------
+
+def _int_binop(op: str, lhs: int, rhs: int, bits: int) -> int:
+    if op == "add":
+        return to_unsigned(lhs + rhs, bits)
+    if op == "sub":
+        return to_unsigned(lhs - rhs, bits)
+    if op == "mul":
+        return to_unsigned(lhs * rhs, bits)
+    if op == "sdiv":
+        a, b = to_signed(lhs, bits), to_signed(rhs, bits)
+        if b == 0:
+            raise InterpreterError("integer division by zero")
+        return to_unsigned(int(a / b), bits)
+    if op == "udiv":
+        if rhs == 0:
+            raise InterpreterError("integer division by zero")
+        return to_unsigned(lhs // rhs, bits)
+    if op == "srem":
+        a, b = to_signed(lhs, bits), to_signed(rhs, bits)
+        if b == 0:
+            raise InterpreterError("integer remainder by zero")
+        return to_unsigned(a - int(a / b) * b, bits)
+    if op == "urem":
+        if rhs == 0:
+            raise InterpreterError("integer remainder by zero")
+        return to_unsigned(lhs % rhs, bits)
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        return to_unsigned(lhs << (rhs % bits), bits)
+    if op == "lshr":
+        return lhs >> (rhs % bits)
+    if op == "ashr":
+        return to_unsigned(to_signed(lhs, bits) >> (rhs % bits), bits)
+    raise InterpreterError(f"unknown int binop {op}")
+
+
+def _float_binop(op: str, lhs: float, rhs: float) -> float:
+    if op == "fadd":
+        return lhs + rhs
+    if op == "fsub":
+        return lhs - rhs
+    if op == "fmul":
+        return lhs * rhs
+    if op == "fdiv":
+        if rhs == 0.0:
+            return float("inf") if lhs > 0 else (
+                float("-inf") if lhs < 0 else float("nan"))
+        return lhs / rhs
+    if op == "frem":
+        import math
+        return math.fmod(lhs, rhs)
+    raise InterpreterError(f"unknown float binop {op}")
+
+
+def _int_cmp(pred: str, lhs: int, rhs: int, bits: int) -> bool:
+    if pred == "eq":
+        return lhs == rhs
+    if pred == "ne":
+        return lhs != rhs
+    if pred in ("slt", "sle", "sgt", "sge"):
+        a, b = to_signed(lhs, bits), to_signed(rhs, bits)
+    else:
+        a, b = lhs, rhs
+    if pred in ("slt", "ult"):
+        return a < b
+    if pred in ("sle", "ule"):
+        return a <= b
+    if pred in ("sgt", "ugt"):
+        return a > b
+    if pred in ("sge", "uge"):
+        return a >= b
+    raise InterpreterError(f"unknown int predicate {pred}")
+
+
+def _float_cmp(pred: str, lhs: float, rhs: float) -> bool:
+    if pred == "feq":
+        return lhs == rhs
+    if pred == "fne":
+        return lhs != rhs
+    if pred == "flt":
+        return lhs < rhs
+    if pred == "fle":
+        return lhs <= rhs
+    if pred == "fgt":
+        return lhs > rhs
+    if pred == "fge":
+        return lhs >= rhs
+    raise InterpreterError(f"unknown float predicate {pred}")

@@ -1,0 +1,601 @@
+"""Builtin C library for the simulated machines.
+
+External functions in the IR are bound to these Python implementations by
+name.  The offload function filter classifies them (I/O, allocation, pure
+math, ...) via the tables in :mod:`repro.offload.filter`; the remote I/O
+manager wraps the output functions with network-forwarding variants on the
+server (paper, Section 3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .interpreter import ExitProgram, Interpreter, InterpreterError
+from .machine import Machine
+from .values import to_signed, to_unsigned
+
+
+def install_libc(machine: Machine) -> None:
+    """Register every builtin on a machine."""
+    for name, fn in _BUILTINS.items():
+        machine.register_builtin(name, fn)
+
+
+def map_range(machine: Machine, address: int, size: int) -> None:
+    """Ensure pages backing [address, address+size) exist (zero-filled)."""
+    machine.map_range(address, size)
+
+
+# ---------------------------------------------------------------------------
+# Allocation
+# ---------------------------------------------------------------------------
+
+def _malloc(interp: Interpreter, args: List) -> int:
+    size = int(args[0])
+    addr = interp.machine.heap_for_malloc.alloc(size)
+    map_range(interp.machine, addr, size)
+    interp.charge("alu", 20)
+    if interp.observer is not None:
+        interp.observer.heap_alloc(size)
+    return addr
+
+
+def _free(interp: Interpreter, args: List) -> None:
+    addr = int(args[0])
+    if addr:
+        interp.machine.heap_for_malloc.free(addr)
+    interp.charge("alu", 10)
+
+
+def _calloc(interp: Interpreter, args: List) -> int:
+    count, size = int(args[0]), int(args[1])
+    total = count * size
+    addr = interp.machine.heap_for_malloc.alloc(total)
+    map_range(interp.machine, addr, total)
+    interp.machine.memory.write(addr, b"\x00" * total)
+    interp.charge("mem", total / 8 + 20)
+    if interp.observer is not None:
+        interp.observer.heap_alloc(total)
+    return addr
+
+
+def _realloc(interp: Interpreter, args: List) -> int:
+    addr, size = int(args[0]), int(args[1])
+    heap = interp.machine.heap_for_malloc
+    new_addr = heap.alloc(size)
+    map_range(interp.machine, new_addr, size)
+    if addr:
+        old_size = heap.size_of(addr) or 0
+        data = interp.machine.memory.read(addr, min(old_size, size))
+        interp.machine.memory.write(new_addr, data)
+        heap.free(addr)
+        interp.charge("mem", min(old_size, size) / 8)
+    interp.charge("alu", 30)
+    return new_addr
+
+
+def _u_malloc(interp: Interpreter, args: List) -> int:
+    """UVA allocation (Section 3.2's heap allocation replacement target)."""
+    size = int(args[0])
+    addr = interp.machine.uva_heap.alloc(size)
+    map_range(interp.machine, addr, size)
+    interp.charge("alu", 22)
+    if interp.observer is not None:
+        interp.observer.heap_alloc(size)
+    return addr
+
+
+def _u_free(interp: Interpreter, args: List) -> None:
+    addr = int(args[0])
+    if addr:
+        interp.machine.uva_heap.free(addr)
+    interp.charge("alu", 10)
+
+
+def _u_calloc(interp: Interpreter, args: List) -> int:
+    count, size = int(args[0]), int(args[1])
+    total = count * size
+    addr = interp.machine.uva_heap.alloc(total)
+    map_range(interp.machine, addr, total)
+    interp.machine.memory.write(addr, b"\x00" * total)
+    interp.charge("mem", total / 8 + 22)
+    if interp.observer is not None:
+        interp.observer.heap_alloc(total)
+    return addr
+
+
+def _u_realloc(interp: Interpreter, args: List) -> int:
+    addr, size = int(args[0]), int(args[1])
+    heap = interp.machine.uva_heap
+    new_addr = heap.alloc(size)
+    map_range(interp.machine, new_addr, size)
+    if addr:
+        old_size = heap.size_of(addr) or 0
+        data = interp.machine.memory.read(addr, min(old_size, size))
+        interp.machine.memory.write(new_addr, data)
+        heap.free(addr)
+        interp.charge("mem", min(old_size, size) / 8)
+    interp.charge("alu", 30)
+    return new_addr
+
+
+# ---------------------------------------------------------------------------
+# Memory / string operations
+# ---------------------------------------------------------------------------
+
+def _memcpy(interp: Interpreter, args: List) -> int:
+    dst, src, n = int(args[0]), int(args[1]), int(args[2])
+    if n:
+        data = interp.machine.memory.read(src, n)
+        interp.machine.memory.write(dst, data)
+        if interp._mem_observer is not None:
+            interp._mem_observer.memory_access(src, n, False)
+            interp._mem_observer.memory_access(dst, n, True)
+    interp.charge("mem", n / 8 + 2)
+    return dst
+
+
+def _memmove(interp: Interpreter, args: List) -> int:
+    return _memcpy(interp, args)  # reads fully before writing
+
+
+def _memset(interp: Interpreter, args: List) -> int:
+    dst, byte, n = int(args[0]), int(args[1]) & 0xFF, int(args[2])
+    if n:
+        interp.machine.memory.write(dst, bytes([byte]) * n)
+        if interp._mem_observer is not None:
+            interp._mem_observer.memory_access(dst, n, True)
+    interp.charge("mem", n / 8 + 2)
+    return dst
+
+
+def _strlen(interp: Interpreter, args: List) -> int:
+    s = interp.machine.memory.read_cstring(int(args[0]))
+    interp.charge("mem", len(s) / 4 + 1)
+    return len(s)
+
+
+def _strcpy(interp: Interpreter, args: List) -> int:
+    dst, src = int(args[0]), int(args[1])
+    s = interp.machine.memory.read_cstring(src)
+    interp.machine.memory.write(dst, s + b"\x00")
+    interp.charge("mem", len(s) / 4 + 2)
+    return dst
+
+
+def _strncpy(interp: Interpreter, args: List) -> int:
+    dst, src, n = int(args[0]), int(args[1]), int(args[2])
+    s = interp.machine.memory.read_cstring(src)[:n]
+    interp.machine.memory.write(dst, s.ljust(n, b"\x00"))
+    interp.charge("mem", n / 4 + 2)
+    return dst
+
+
+def _strcmp(interp: Interpreter, args: List) -> int:
+    a = interp.machine.memory.read_cstring(int(args[0]))
+    b = interp.machine.memory.read_cstring(int(args[1]))
+    interp.charge("mem", (min(len(a), len(b)) + 1) / 4)
+    return to_unsigned((a > b) - (a < b), 32)
+
+
+def _strncmp(interp: Interpreter, args: List) -> int:
+    n = int(args[2])
+    a = interp.machine.memory.read_cstring(int(args[0]))[:n]
+    b = interp.machine.memory.read_cstring(int(args[1]))[:n]
+    interp.charge("mem", (min(len(a), len(b)) + 1) / 4)
+    return to_unsigned((a > b) - (a < b), 32)
+
+
+def _strcat(interp: Interpreter, args: List) -> int:
+    dst, src = int(args[0]), int(args[1])
+    d = interp.machine.memory.read_cstring(dst)
+    s = interp.machine.memory.read_cstring(src)
+    interp.machine.memory.write(dst + len(d), s + b"\x00")
+    interp.charge("mem", (len(d) + len(s)) / 4)
+    return dst
+
+
+def _atoi(interp: Interpreter, args: List) -> int:
+    s = interp.machine.memory.read_cstring(int(args[0])).strip()
+    interp.charge("alu", len(s) / 2 + 2)
+    i = 0
+    sign = 1
+    if i < len(s) and s[i:i + 1] in b"+-":
+        sign = -1 if s[i:i + 1] == b"-" else 1
+        i += 1
+    value = 0
+    while i < len(s) and s[i:i + 1].isdigit():
+        value = value * 10 + (s[i] - ord("0"))
+        i += 1
+    return to_unsigned(sign * value, 32)
+
+
+# ---------------------------------------------------------------------------
+# printf / scanf machinery
+# ---------------------------------------------------------------------------
+
+def format_printf(interp: Interpreter, fmt: bytes, args: List) -> bytes:
+    """A C printf formatter over default-promoted varargs."""
+    out = bytearray()
+    arg_iter = iter(args)
+    i = 0
+    n = len(fmt)
+    while i < n:
+        ch = fmt[i:i + 1]
+        if ch != b"%":
+            out += ch
+            i += 1
+            continue
+        # parse %[flags][width][.prec][length]conv
+        j = i + 1
+        spec = bytearray(b"%")
+        length = b""
+        while j < n and fmt[j:j + 1] in b"-+ 0#123456789.*":
+            spec += fmt[j:j + 1]
+            j += 1
+        while j < n and fmt[j:j + 1] in b"lhzq":
+            length += fmt[j:j + 1]
+            j += 1
+        if j >= n:
+            out += spec
+            break
+        conv = fmt[j:j + 1]
+        i = j + 1
+        text = _format_one(interp, spec.decode(), length.decode(),
+                           conv.decode(), arg_iter)
+        out += text.encode("utf-8", errors="replace")
+    interp.charge("alu", len(out) / 2 + 4)
+    return bytes(out)
+
+
+def _format_one(interp, spec: str, length: str, conv: str, arg_iter) -> str:
+    if conv == "%":
+        return "%"
+    value = next(arg_iter, 0)
+    pyspec = spec.replace("%", "", 1)
+    if conv in "di":
+        bits = 64 if "l" in length else 32
+        return f"%{pyspec}d" % to_signed(int(value), bits)
+    if conv == "u":
+        return f"%{pyspec}d" % int(value)
+    if conv in "xX":
+        return f"%{pyspec}{conv}" % int(value)
+    if conv == "o":
+        return f"%{pyspec}o" % int(value)
+    if conv in "feEgG":
+        return f"%{pyspec}{conv}" % float(value)
+    if conv == "c":
+        return chr(int(value) & 0xFF)
+    if conv == "s":
+        data = interp.machine.memory.read_cstring(int(value))
+        return f"%{pyspec}s" % data.decode("utf-8", errors="replace")
+    if conv == "p":
+        return f"0x{int(value):x}"
+    raise InterpreterError(f"unsupported printf conversion %{conv}")
+
+
+def _printf(interp: Interpreter, args: List) -> int:
+    fmt = interp.machine.memory.read_cstring(int(args[0]))
+    text = format_printf(interp, fmt, args[1:])
+    interp.machine.io.write_stdout(text)
+    return len(text)
+
+
+def _sprintf(interp: Interpreter, args: List) -> int:
+    buf = int(args[0])
+    fmt = interp.machine.memory.read_cstring(int(args[1]))
+    text = format_printf(interp, fmt, args[2:])
+    interp.machine.memory.write(buf, text + b"\x00")
+    return len(text)
+
+
+def _puts(interp: Interpreter, args: List) -> int:
+    s = interp.machine.memory.read_cstring(int(args[0]))
+    interp.machine.io.write_stdout(s + b"\n")
+    interp.charge("mem", len(s) / 8 + 1)
+    return len(s) + 1
+
+
+def _putchar(interp: Interpreter, args: List) -> int:
+    interp.machine.io.write_stdout(bytes([int(args[0]) & 0xFF]))
+    interp.charge("alu", 1)
+    return int(args[0])
+
+
+def _skip_space(stdin) -> bytes:
+    while True:
+        ch = stdin.read(1)
+        if not ch:
+            return b""
+        if not ch.isspace():
+            return ch
+
+
+def _read_token(stdin) -> bytes:
+    first = _skip_space(stdin)
+    if not first:
+        return b""
+    token = bytearray(first)
+    while True:
+        ch = stdin.read(1)
+        if not ch:
+            break
+        if ch.isspace():
+            stdin.seek(-1, 1)
+            break
+        token += ch
+    return bytes(token)
+
+
+def _scanf(interp: Interpreter, args: List) -> int:
+    """Interactive stdin scanf — a *machine specific* function that pins
+    its callers to the mobile device (Section 3.1)."""
+    fmt = interp.machine.memory.read_cstring(int(args[0]))
+    stdin = interp.machine.io.stdin
+    memory = interp.machine.memory
+    assigned = 0
+    arg_index = 1
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i:i + 1]
+        if ch != b"%":
+            i += 1
+            continue
+        length = b""
+        j = i + 1
+        while fmt[j:j + 1] in b"lh":
+            length += fmt[j:j + 1]
+            j += 1
+        conv = fmt[j:j + 1]
+        i = j + 1
+        token = _read_token(stdin)
+        if not token:
+            break
+        ptr = int(args[arg_index])
+        arg_index += 1
+        try:
+            if conv in (b"d", b"u", b"i"):
+                value = int(token)
+                size = 8 if length in (b"l", b"ll") else 4
+                if length == b"hh":
+                    size = 1
+                elif length == b"h":
+                    size = 2
+                memory.write(ptr, to_unsigned(value, size * 8)
+                             .to_bytes(size, memory_order(interp)))
+            elif conv in (b"f", b"e", b"g"):
+                import struct as _s
+                value = float(token)
+                if length == b"l":
+                    memory.write(ptr, _s.pack(
+                        ("<" if memory_order(interp) == "little" else ">") + "d",
+                        value))
+                else:
+                    memory.write(ptr, _s.pack(
+                        ("<" if memory_order(interp) == "little" else ">") + "f",
+                        value))
+            elif conv == b"s":
+                memory.write(ptr, token + b"\x00")
+            elif conv == b"c":
+                memory.write(ptr, token[:1])
+            else:
+                raise InterpreterError(
+                    f"unsupported scanf conversion %{conv.decode()}")
+        except ValueError:
+            break
+        assigned += 1
+    interp.charge("alu", 20)
+    return to_unsigned(assigned, 32)
+
+
+def memory_order(interp: Interpreter) -> str:
+    return interp.machine.layout.byte_order
+
+
+def _getchar(interp: Interpreter, args: List) -> int:
+    ch = interp.machine.io.read_stdin(1)
+    interp.charge("alu", 2)
+    return to_unsigned(ch[0] if ch else -1, 32)
+
+
+# ---------------------------------------------------------------------------
+# File I/O
+# ---------------------------------------------------------------------------
+
+def _fopen(interp: Interpreter, args: List) -> int:
+    path = interp.machine.memory.read_cstring(int(args[0])).decode()
+    mode = interp.machine.memory.read_cstring(int(args[1])).decode()
+    interp.charge("alu", 50)
+    return interp.machine.io.open(path, mode)
+
+
+def _fclose(interp: Interpreter, args: List) -> int:
+    interp.charge("alu", 20)
+    return to_unsigned(interp.machine.io.close(int(args[0])), 32)
+
+
+def _fread(interp: Interpreter, args: List) -> int:
+    ptr, size, count, handle = (int(args[0]), int(args[1]), int(args[2]),
+                                int(args[3]))
+    f = interp.machine.io.file(handle)
+    if f is None:
+        return 0
+    data = f.read(size * count)
+    if data:
+        interp.machine.memory.write(ptr, data)
+    interp.charge("mem", len(data) / 8 + 10)
+    interp.machine.io.file_ops += 1
+    return len(data) // size if size else 0
+
+
+def _fwrite(interp: Interpreter, args: List) -> int:
+    ptr, size, count, handle = (int(args[0]), int(args[1]), int(args[2]),
+                                int(args[3]))
+    f = interp.machine.io.file(handle)
+    if f is None:
+        return 0
+    data = interp.machine.memory.read(ptr, size * count)
+    written = f.write(data)
+    interp.charge("mem", written / 8 + 10)
+    interp.machine.io.file_ops += 1
+    return written // size if size else 0
+
+
+def _fgets(interp: Interpreter, args: List) -> int:
+    ptr, limit, handle = int(args[0]), int(args[1]), int(args[2])
+    f = interp.machine.io.file(handle)
+    if f is None or f.at_eof:
+        return 0
+    line = f.read_line(limit)
+    interp.machine.memory.write(ptr, line + b"\x00")
+    interp.charge("mem", len(line) / 8 + 6)
+    interp.machine.io.file_ops += 1
+    return ptr
+
+
+def _fgetc(interp: Interpreter, args: List) -> int:
+    f = interp.machine.io.file(int(args[0]))
+    interp.charge("alu", 3)
+    if f is None:
+        return to_unsigned(-1, 32)
+    ch = f.read(1)
+    return to_unsigned(ch[0] if ch else -1, 32)
+
+
+def _feof(interp: Interpreter, args: List) -> int:
+    f = interp.machine.io.file(int(args[0]))
+    interp.charge("alu", 2)
+    return 1 if (f is None or f.at_eof) else 0
+
+
+def _fprintf(interp: Interpreter, args: List) -> int:
+    handle = int(args[0])
+    fmt = interp.machine.memory.read_cstring(int(args[1]))
+    text = format_printf(interp, fmt, args[2:])
+    f = interp.machine.io.file(handle)
+    if f is None:
+        # handles 1/2 behave as stdout/stderr
+        if handle == 2:
+            interp.machine.io.write_stderr(text)
+        else:
+            interp.machine.io.write_stdout(text)
+        return len(text)
+    interp.machine.io.file_ops += 1
+    return f.write(text)
+
+
+# ---------------------------------------------------------------------------
+# Math and misc
+# ---------------------------------------------------------------------------
+
+def _math1(py_fn):
+    def builtin(interp: Interpreter, args: List) -> float:
+        interp.charge("fpu", 4)
+        try:
+            return float(py_fn(float(args[0])))
+        except ValueError:
+            return float("nan")
+    return builtin
+
+
+def _math2(py_fn):
+    def builtin(interp: Interpreter, args: List) -> float:
+        interp.charge("fpu", 6)
+        try:
+            return float(py_fn(float(args[0]), float(args[1])))
+        except (ValueError, OverflowError):
+            return float("nan")
+    return builtin
+
+
+def _abs(interp: Interpreter, args: List) -> int:
+    interp.charge("alu", 1)
+    return to_unsigned(abs(to_signed(int(args[0]), 32)), 32)
+
+
+def _labs(interp: Interpreter, args: List) -> int:
+    interp.charge("alu", 1)
+    return to_unsigned(abs(to_signed(int(args[0]), 64)), 64)
+
+
+_RAND_MULT = 1103515245
+_RAND_INC = 12345
+
+
+def _rand(interp: Interpreter, args: List) -> int:
+    state = getattr(interp.machine, "rand_state", 1)
+    state = (state * _RAND_MULT + _RAND_INC) & 0x7FFFFFFF
+    interp.machine.rand_state = state
+    interp.charge("alu", 4)
+    return state
+
+
+def _srand(interp: Interpreter, args: List) -> None:
+    interp.machine.rand_state = int(args[0]) & 0x7FFFFFFF
+    interp.charge("alu", 1)
+
+
+def _exit(interp: Interpreter, args: List):
+    raise ExitProgram(to_signed(int(args[0]), 32))
+
+
+def _clock_ms(interp: Interpreter, args: List) -> int:
+    """Deterministic simulated clock in milliseconds."""
+    interp.charge("call", 1)
+    return to_unsigned(int(interp.time_seconds * 1000), 64)
+
+
+_BUILTINS = {
+    "malloc": _malloc,
+    "free": _free,
+    "calloc": _calloc,
+    "realloc": _realloc,
+    "u_malloc": _u_malloc,
+    "u_free": _u_free,
+    "u_calloc": _u_calloc,
+    "u_realloc": _u_realloc,
+    "memcpy": _memcpy,
+    "memmove": _memmove,
+    "memset": _memset,
+    "strlen": _strlen,
+    "strcpy": _strcpy,
+    "strncpy": _strncpy,
+    "strcmp": _strcmp,
+    "strncmp": _strncmp,
+    "strcat": _strcat,
+    "atoi": _atoi,
+    "printf": _printf,
+    "sprintf": _sprintf,
+    "puts": _puts,
+    "putchar": _putchar,
+    "scanf": _scanf,
+    "getchar": _getchar,
+    "fopen": _fopen,
+    "fclose": _fclose,
+    "fread": _fread,
+    "fwrite": _fwrite,
+    "fgets": _fgets,
+    "fgetc": _fgetc,
+    "feof": _feof,
+    "fprintf": _fprintf,
+    "sqrt": _math1(math.sqrt),
+    "fabs": _math1(abs),
+    "sin": _math1(math.sin),
+    "cos": _math1(math.cos),
+    "tan": _math1(math.tan),
+    "exp": _math1(math.exp),
+    "log": _math1(math.log),
+    "floor": _math1(math.floor),
+    "ceil": _math1(math.ceil),
+    "pow": _math2(math.pow),
+    "fmod": _math2(math.fmod),
+    "atan2": _math2(math.atan2),
+    "abs": _abs,
+    "labs": _labs,
+    "rand": _rand,
+    "srand": _srand,
+    "exit": _exit,
+    "clock_ms": _clock_ms,
+}

@@ -1,0 +1,173 @@
+"""Paged virtual memory with fault hooks and dirty tracking.
+
+This is the substrate under the Native Offloader runtime's UVA manager
+(paper, Section 4): page-granular mapping, a hookable page-fault path (used
+for copy-on-demand), and per-page dirty bits (used for write-back at
+finalization).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class SegmentationFault(Exception):
+    """Access to an unmapped address that no fault handler resolved."""
+
+    def __init__(self, address: int, size: int = 1):
+        super().__init__(f"segmentation fault at {address:#x} (size {size})")
+        self.address = address
+        self.size = size
+
+
+FaultHandler = Callable[[int], bool]  # page_index -> handled?
+
+
+class AddressSpace:
+    """A byte-addressable virtual address space backed by pages.
+
+    Pages are created on :meth:`map_page` (or by a fault handler).  Writes
+    set a dirty bit; :meth:`collect_dirty_pages` snapshots and clears them,
+    which is exactly the write-back step of the offload life cycle.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page size must be a positive power of two")
+        self.page_size = page_size
+        self.pages: Dict[int, bytearray] = {}
+        self.dirty: Set[int] = set()
+        self.fault_handler: Optional[FaultHandler] = None
+        # Statistics consumed by the runtime and the evaluation harness.
+        self.fault_count = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- page management ----------------------------------------------------
+    def page_index(self, address: int) -> int:
+        return address // self.page_size
+
+    def page_base(self, page_index: int) -> int:
+        return page_index * self.page_size
+
+    def is_mapped(self, address: int) -> bool:
+        return self.page_index(address) in self.pages
+
+    def map_page(self, page_index: int,
+                 data: Optional[bytes] = None) -> bytearray:
+        page = self.pages.get(page_index)
+        if page is None:
+            page = bytearray(self.page_size)
+            self.pages[page_index] = page
+        if data is not None:
+            if len(data) != self.page_size:
+                raise ValueError("page data size mismatch")
+            page[:] = data
+        return page
+
+    def unmap_page(self, page_index: int) -> None:
+        self.pages.pop(page_index, None)
+        self.dirty.discard(page_index)
+
+    def mapped_pages(self) -> List[int]:
+        return sorted(self.pages)
+
+    def _page_for(self, page_index: int, address: int, size: int) -> bytearray:
+        page = self.pages.get(page_index)
+        if page is not None:
+            return page
+        self.fault_count += 1
+        if self.fault_handler is not None and self.fault_handler(page_index):
+            page = self.pages.get(page_index)
+            if page is not None:
+                return page
+        raise SegmentationFault(address, size)
+
+    # -- raw byte access ------------------------------------------------
+    def read(self, address: int, size: int) -> bytes:
+        self.bytes_read += size
+        # Fast path: access within one page (the overwhelmingly common
+        # case for scalar loads).
+        off = address & (self.page_size - 1)
+        if off + size <= self.page_size:
+            pidx = address // self.page_size
+            page = self.pages.get(pidx)
+            if page is None:
+                page = self._page_for(pidx, address, size)
+            return bytes(page[off:off + size])
+        out = bytearray()
+        remaining = size
+        addr = address
+        while remaining > 0:
+            pidx = self.page_index(addr)
+            page = self._page_for(pidx, address, size)
+            off = addr - self.page_base(pidx)
+            chunk = min(remaining, self.page_size - off)
+            out += page[off:off + chunk]
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        size = len(data)
+        self.bytes_written += size
+        off = address & (self.page_size - 1)
+        if off + size <= self.page_size:
+            pidx = address // self.page_size
+            page = self.pages.get(pidx)
+            if page is None:
+                page = self._page_for(pidx, address, size)
+            page[off:off + size] = data
+            self.dirty.add(pidx)
+            return
+        addr = address
+        pos = 0
+        remaining = size
+        while remaining > 0:
+            pidx = self.page_index(addr)
+            page = self._page_for(pidx, address, len(data))
+            off = addr - self.page_base(pidx)
+            chunk = min(remaining, self.page_size - off)
+            page[off:off + chunk] = data[pos:pos + chunk]
+            self.dirty.add(pidx)
+            addr += chunk
+            pos += chunk
+            remaining -= chunk
+
+    def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string."""
+        out = bytearray()
+        addr = address
+        while len(out) < limit:
+            byte = self.read(addr, 1)
+            if byte == b"\x00":
+                return bytes(out)
+            out += byte
+            addr += 1
+        raise ValueError(f"unterminated string at {address:#x}")
+
+    # -- dirty-page machinery (write-back) ----------------------------------
+    def clear_dirty(self) -> None:
+        self.dirty.clear()
+
+    def dirty_pages(self) -> List[int]:
+        return sorted(self.dirty)
+
+    def collect_dirty_pages(self) -> Dict[int, bytes]:
+        """Snapshot dirty page contents and clear the dirty set."""
+        snapshot = {pidx: bytes(self.pages[pidx])
+                    for pidx in sorted(self.dirty) if pidx in self.pages}
+        self.dirty.clear()
+        return snapshot
+
+    def page_bytes(self, page_index: int) -> bytes:
+        return bytes(self.pages[page_index])
+
+    def install_pages(self, pages: Dict[int, bytes],
+                      mark_dirty: bool = False) -> None:
+        for pidx, data in pages.items():
+            self.map_page(pidx, data)
+            if mark_dirty:
+                self.dirty.add(pidx)

@@ -1,0 +1,36 @@
+"""The Native Offloader compiler: target selection, memory unification,
+partitioning and server-specific optimization (paper, Section 3)."""
+
+from .filter import (FilterVerdict, FunctionFilter, INTERACTIVE_IO,
+                     IO_FUNCTIONS, PURE_BUILTINS, REMOTE_FILE_INPUT,
+                     REMOTE_OUTPUT)
+from .estimator import (EstimatorParams, StaticEstimate,
+                        StaticPerformanceEstimator, mbps)
+from .selector import Candidate, SelectionResult, TargetSelector
+from .outline import OutliningError, can_outline, outline_loop
+from .unify import (UnificationReport, reallocate_referenced_globals,
+                    replace_heap_allocations, unified_data_layout,
+                    unify_memory, UNIFIED_LAYOUTS_KEY, UNIFIED_ORDER_KEY,
+                    UNIFIED_POINTER_KEY)
+from .partition import (OffloadTarget, PartitionResult, partition,
+                        OFFLOAD_PREFIX, SHOULD_OFFLOAD, STUB_SUFFIX)
+from .server_opt import (M2S_FCN_MAP, REMOTE_IO_PREFIX, S2M_FCN_MAP,
+                         apply_function_pointer_mapping, apply_remote_io)
+from .pipeline import CompilerOptions, NativeOffloaderCompiler, OffloadProgram
+
+__all__ = [
+    "FilterVerdict", "FunctionFilter", "INTERACTIVE_IO", "IO_FUNCTIONS",
+    "PURE_BUILTINS", "REMOTE_FILE_INPUT", "REMOTE_OUTPUT",
+    "EstimatorParams", "StaticEstimate", "StaticPerformanceEstimator",
+    "mbps",
+    "Candidate", "SelectionResult", "TargetSelector",
+    "OutliningError", "can_outline", "outline_loop",
+    "UnificationReport", "reallocate_referenced_globals",
+    "replace_heap_allocations", "unified_data_layout", "unify_memory",
+    "UNIFIED_LAYOUTS_KEY", "UNIFIED_ORDER_KEY", "UNIFIED_POINTER_KEY",
+    "OffloadTarget", "PartitionResult", "partition", "OFFLOAD_PREFIX",
+    "SHOULD_OFFLOAD", "STUB_SUFFIX",
+    "M2S_FCN_MAP", "REMOTE_IO_PREFIX", "S2M_FCN_MAP",
+    "apply_function_pointer_mapping", "apply_remote_io",
+    "CompilerOptions", "NativeOffloaderCompiler", "OffloadProgram",
+]

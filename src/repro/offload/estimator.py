@@ -1,0 +1,83 @@
+"""Static performance estimator (paper, Section 3.1, Equation 1).
+
+    Tg = (Tm - Ts) - Tc  =  Tm * (1 - 1/R)  -  2 * (M / BW) * Ninvo
+
+where Tm is mobile execution time of the candidate, R the average
+server/mobile performance ratio, M the memory the task uses, BW the network
+bandwidth, and Ninvo the invocation count.  Shared data crosses the network
+twice per invocation (live-ins out, dirty data back), hence the factor 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..profiler.profile_data import CandidateProfile, ProfileData
+
+
+@dataclass(frozen=True)
+class EstimatorParams:
+    """Environment assumptions of the static estimator."""
+
+    performance_ratio: float        # R
+    bandwidth_bytes_per_s: float    # BW
+
+    def __post_init__(self):
+        if self.performance_ratio <= 1.0:
+            raise ValueError("performance ratio must exceed 1 "
+                             "(the server must be faster)")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+@dataclass
+class StaticEstimate:
+    """Per-candidate output of the estimator — the Table 3 columns."""
+
+    name: str
+    t_mobile: float          # Tm: profiled mobile execution time
+    t_ideal: float           # Tm * (1 - 1/R): ideal gain
+    t_comm: float            # Tc: 2 * M/BW * Ninvo
+    invocations: int
+    memory_bytes: int
+
+    @property
+    def t_gain(self) -> float:
+        return self.t_ideal - self.t_comm
+
+    @property
+    def profitable(self) -> bool:
+        return self.t_gain > 0
+
+
+class StaticPerformanceEstimator:
+    def __init__(self, params: EstimatorParams):
+        self.params = params
+
+    def estimate(self, profile: CandidateProfile) -> StaticEstimate:
+        t_mobile = profile.total_seconds
+        t_ideal = t_mobile * (1.0 - 1.0 / self.params.performance_ratio)
+        t_comm = (2.0 * profile.memory_bytes
+                  / self.params.bandwidth_bytes_per_s
+                  * profile.invocations)
+        return StaticEstimate(
+            name=profile.name,
+            t_mobile=t_mobile,
+            t_ideal=t_ideal,
+            t_comm=t_comm,
+            invocations=profile.invocations,
+            memory_bytes=profile.memory_bytes,
+        )
+
+    def estimate_all(self, data: ProfileData,
+                     names: Optional[List[str]] = None
+                     ) -> Dict[str, StaticEstimate]:
+        selected = (data.candidates.keys() if names is None else names)
+        return {name: self.estimate(data.candidates[name])
+                for name in selected}
+
+
+def mbps(megabits_per_second: float) -> float:
+    """Convert Mbit/s (the unit the paper quotes) to bytes/s."""
+    return megabits_per_second * 1e6 / 8.0

@@ -1,0 +1,131 @@
+"""Partitioning: derive the mobile and server binaries (paper, Section 3.3).
+
+* **Mobile partition** — every call site of an offload target is redirected
+  to a generated stub that consults the runtime's *dynamic* performance
+  estimator (``__no_should_offload``) and either requests offloading
+  (``__no_offload_<target>``) or falls back to the local body, exactly the
+  ``isProfitable``/``requestOffload`` pattern of Figure 3(b).
+* **Server partition** — only the offload targets and whatever they can
+  reach (including address-taken functions callable through pointers)
+  survive; everything else, ``getPlayerTurn``-style, is removed.  Request
+  dispatch itself lives in the Native Offloader runtime.
+* **Stack reallocation** — the server executes targets on a stack far from
+  the mobile stack in the shared UVA space; the machine model's
+  ``SERVER_STACK_TOP`` realizes this, and the partition records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.callgraph import CallGraph
+from ..ir import instructions as inst
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import FunctionType, I1, I32
+from ..ir.values import Constant, Function
+from ..machine.machine import SERVER_STACK_TOP
+
+SHOULD_OFFLOAD = "__no_should_offload"
+OFFLOAD_PREFIX = "__no_offload_"
+STUB_SUFFIX = "__offstub"
+
+
+@dataclass
+class OffloadTarget:
+    """One compiled offload target."""
+
+    id: int
+    name: str           # function name in both partitions
+    kind: str           # "function" or "loop" (outlined loops included)
+
+
+@dataclass
+class PartitionResult:
+    mobile_module: Module
+    server_module: Module
+    targets: List[OffloadTarget]
+    removed_server_functions: List[str] = field(default_factory=list)
+    server_stack_base: int = SERVER_STACK_TOP
+
+    def target_named(self, name: str) -> OffloadTarget:
+        for target in self.targets:
+            if target.name == name:
+                return target
+        raise KeyError(name)
+
+    def target_by_id(self, target_id: int) -> OffloadTarget:
+        for target in self.targets:
+            if target.id == target_id:
+                return target
+        raise KeyError(target_id)
+
+
+def partition(module: Module, target_names: List[str],
+              target_kinds: Optional[Dict[str, str]] = None
+              ) -> PartitionResult:
+    """Split a unified module into mobile and server partitions."""
+    kinds = target_kinds or {}
+    targets = [OffloadTarget(i + 1, name, kinds.get(name, "function"))
+               for i, name in enumerate(sorted(target_names))]
+    mobile = module.clone(f"{module.name}.mobile")
+    server = module.clone(f"{module.name}.server")
+    for target in targets:
+        _install_mobile_stub(mobile, target)
+    removed = _remove_unused_server_functions(server,
+                                              [t.name for t in targets])
+    return PartitionResult(mobile_module=mobile, server_module=server,
+                           targets=targets,
+                           removed_server_functions=removed)
+
+
+def _install_mobile_stub(module: Module, target: OffloadTarget) -> None:
+    fn = module.function(target.name)
+    should = module.declare_function(
+        SHOULD_OFFLOAD, FunctionType(I1, [I32]))
+    remote = module.declare_function(
+        OFFLOAD_PREFIX + target.name, fn.ftype)
+    stub = Function(target.name + STUB_SUFFIX, fn.ftype,
+                    [a.name for a in fn.args])
+    module.add_function(stub)
+
+    entry = stub.add_block("entry")
+    off_block = stub.add_block("offload")
+    local_block = stub.add_block("local")
+    b = IRBuilder(entry)
+    decision = b.call(should, [Constant(I32, target.id)], "go")
+    b.condbr(decision, off_block, local_block)
+    b.position_at_end(off_block)
+    remote_result = b.call(remote, list(stub.args))
+    b.ret(None if fn.ftype.ret.is_void else remote_result)
+    b.position_at_end(local_block)
+    local_result = b.call(fn, list(stub.args))
+    b.ret(None if fn.ftype.ret.is_void else local_result)
+
+    # Redirect every direct call site (outside the stub and the target
+    # itself — recursive calls stay local to one placement).
+    for caller in list(module.defined_functions()):
+        if caller is stub or caller is fn:
+            continue
+        for instruction in caller.instructions():
+            if (isinstance(instruction, inst.Call)
+                    and instruction.called_function is fn):
+                instruction.replace_operand(fn, stub)
+
+
+def _remove_unused_server_functions(module: Module,
+                                    target_names: List[str]) -> List[str]:
+    callgraph = CallGraph(module)
+    roots = list(target_names) + sorted(callgraph.address_taken)
+    keep = callgraph.reachable_from(roots)
+    keep.update(target_names)
+    removed = []
+    for name in list(module.functions):
+        fn = module.functions[name]
+        if not fn.is_definition:
+            continue  # externals stay declared
+        if name not in keep:
+            module.remove_function(name)
+            removed.append(name)
+    return sorted(removed)

@@ -1,0 +1,208 @@
+"""The Native Offloader compiler pipeline (paper, Figure 2).
+
+    unmodified IR
+      -> target selection   (profile, filter, Equation 1)
+      -> memory unification (UVA allocations, global realloc, layouts)
+      -> partition          (mobile stubs + pruned server module)
+      -> server-specific optimization (remote I/O, fn-ptr mapping)
+      -> offloading-enabled mobile and server "binaries"
+
+Every stage can be disabled through :class:`CompilerOptions` for the
+ablation studies in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.callgraph import CallGraph
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..profiler.profile_data import ProfileData
+from ..targets.arch import TargetArch, performance_ratio
+from ..targets.presets import ARM32, X86_64
+from .estimator import (EstimatorParams, StaticPerformanceEstimator, mbps)
+from .filter import FunctionFilter
+from .outline import OutliningError, can_outline, outline_loop
+from .partition import PartitionResult, partition
+from .selector import Candidate, SelectionResult, TargetSelector
+from .server_opt import (apply_function_pointer_mapping, apply_remote_io)
+from .unify import UnificationReport, unify_memory
+
+
+@dataclass
+class CompilerOptions:
+    mobile_arch: TargetArch = ARM32
+    server_arch: TargetArch = X86_64
+    # Static estimator environment.  The paper's worked example assumes
+    # R=5 and BW=80 Mbps (Table 3); the *default* compilation bandwidth is
+    # optimistic (LAN-class) because static selection only gates which
+    # targets get offloading code — the dynamic estimator re-decides per
+    # invocation against the live network, declining when it is too slow.
+    bandwidth_mbps: float = 1000.0
+    performance_ratio: Optional[float] = None
+    # Minimum promised gain (as a fraction of whole-program time) for a
+    # candidate to be worth generating offloading code for.
+    min_gain_fraction: float = 0.12
+    enable_remote_io: bool = True
+    enable_fn_ptr_mapping: bool = True
+    enable_heap_replacement: bool = True
+    enable_global_realloc: bool = True
+    enable_layout_realignment: bool = True
+    # Force a specific target set (bypasses selection); for tests/ablation.
+    forced_targets: Optional[List[str]] = None
+    verify: bool = True
+
+    def resolved_ratio(self) -> float:
+        if self.performance_ratio is not None:
+            return self.performance_ratio
+        return performance_ratio(self.server_arch, self.mobile_arch)
+
+
+@dataclass
+class OffloadProgram:
+    """Everything the runtime needs to execute an offloading-enabled app."""
+
+    name: str
+    mobile_module: Module
+    server_module: Module
+    partition: PartitionResult
+    selection: Optional[SelectionResult]
+    unification: UnificationReport
+    options: CompilerOptions
+    profile: ProfileData
+    remote_io_sites: int = 0
+    fn_ptr_sites: int = 0
+    outlined_loops: List[str] = field(default_factory=list)
+
+    @property
+    def targets(self):
+        return self.partition.targets
+
+    def target_names(self) -> List[str]:
+        return [t.name for t in self.partition.targets]
+
+    def statistics(self) -> Dict[str, object]:
+        """Static per-program statistics — the left half of Table 4."""
+        server_defined = sum(
+            1 for f in self.server_module.defined_functions())
+        mobile_defined = sum(
+            1 for f in self.mobile_module.defined_functions())
+        return {
+            "program": self.name,
+            "offloaded_functions": server_defined,
+            "total_functions": mobile_defined,
+            "referenced_globals": self.unification.uva_globals,
+            "total_globals": self.unification.total_globals,
+            "fn_ptr_sites": self.fn_ptr_sites,
+            "remote_io_sites": self.remote_io_sites,
+            "targets": self.target_names(),
+        }
+
+
+class NativeOffloaderCompiler:
+    """Drives the full pipeline over one application module."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None):
+        self.options = options or CompilerOptions()
+
+    def compile(self, module: Module, profile: ProfileData
+                ) -> OffloadProgram:
+        opts = self.options
+        work = module.clone(module.name)
+
+        selection: Optional[SelectionResult] = None
+        if opts.forced_targets is None:
+            selection = self._select(work, profile)
+            chosen = selection.selected
+        else:
+            chosen = [self._forced_candidate(work, profile, name)
+                      for name in opts.forced_targets]
+
+        target_names: List[str] = []
+        target_kinds: Dict[str, str] = {}
+        outlined: List[str] = []
+        for candidate in chosen:
+            if candidate.kind == "loop":
+                try:
+                    outline_loop(work, candidate.loop, candidate.name)
+                except OutliningError:
+                    continue
+                outlined.append(candidate.name)
+            target_names.append(candidate.name)
+            target_kinds[candidate.name] = candidate.kind
+        if opts.verify:
+            verify_module(work)
+
+        callgraph = CallGraph(work)
+        unification = unify_memory(
+            work, opts.mobile_arch, opts.server_arch, target_names,
+            callgraph=callgraph,
+            enable_heap_replacement=opts.enable_heap_replacement,
+            enable_global_realloc=opts.enable_global_realloc,
+            enable_layout_realignment=opts.enable_layout_realignment)
+
+        result = partition(work, target_names, target_kinds)
+
+        remote_io_sites = 0
+        if opts.enable_remote_io:
+            remote_io_sites = apply_remote_io(result.server_module)
+        fn_ptr_sites = 0
+        if opts.enable_fn_ptr_mapping:
+            fn_ptr_sites = apply_function_pointer_mapping(
+                result.server_module)
+        if opts.verify:
+            verify_module(result.mobile_module)
+            verify_module(result.server_module)
+
+        return OffloadProgram(
+            name=module.name,
+            mobile_module=result.mobile_module,
+            server_module=result.server_module,
+            partition=result,
+            selection=selection,
+            unification=unification,
+            options=opts,
+            profile=profile,
+            remote_io_sites=remote_io_sites,
+            fn_ptr_sites=fn_ptr_sites,
+            outlined_loops=outlined,
+        )
+
+    # -- helpers ----------------------------------------------------------
+    def _estimator(self) -> StaticPerformanceEstimator:
+        params = EstimatorParams(
+            performance_ratio=self.options.resolved_ratio(),
+            bandwidth_bytes_per_s=mbps(self.options.bandwidth_mbps))
+        return StaticPerformanceEstimator(params)
+
+    def _select(self, module: Module, profile: ProfileData
+                ) -> SelectionResult:
+        filter_ = FunctionFilter(
+            module, enable_remote_io=self.options.enable_remote_io)
+        selector = TargetSelector(module, profile, self._estimator(),
+                                  filter_,
+                                  min_gain_fraction=self.options
+                                  .min_gain_fraction)
+        # Iterate: loop candidates that cannot be outlined are excluded and
+        # selection re-runs so a containing function can win instead.
+        excluded: set = set()
+        while True:
+            result = selector.select(exclude=excluded)
+            bad = {c.name for c in result.selected
+                   if c.kind == "loop" and can_outline(c.loop) is not None}
+            if not bad:
+                return result
+            excluded |= bad
+
+    def _forced_candidate(self, module: Module, profile: ProfileData,
+                          name: str) -> Candidate:
+        filter_ = FunctionFilter(
+            module, enable_remote_io=self.options.enable_remote_io)
+        selector = TargetSelector(module, profile, self._estimator(),
+                                  filter_, min_gain_fraction=0.0)
+        candidates = selector._build_candidates()
+        if name not in candidates:
+            raise KeyError(f"no candidate named {name}")
+        return candidates[name]

@@ -1,0 +1,7 @@
+"""Hot function/loop profiler (paper, Section 3.1)."""
+
+from .profile_data import CandidateProfile, ProfileData
+from .profiler import ProfilingObserver, profile_module
+
+__all__ = ["CandidateProfile", "ProfileData", "ProfilingObserver",
+           "profile_module"]

@@ -1,0 +1,32 @@
+"""The Native Offloader runtime: UVA sharing, communication, dynamic
+estimation and the offload session life cycle (paper, Section 4)."""
+
+from .network import (CLOUD_WAN, FAST_WIFI, IDEAL_NETWORK, NETWORKS,
+                      NetworkModel, SLOW_WIFI)
+from .comm import (CommStats, CommunicationManager, TransferResult,
+                   COMPRESS_CYCLES_PER_BYTE, DECOMPRESS_CYCLES_PER_BYTE,
+                   MESSAGE_HEADER_BYTES)
+from .fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES,
+                        UnmappableFunctionPointer)
+from .uva import UVAManager, UVAStats
+from .dynamic_estimator import (DynamicPerformanceEstimator,
+                                TargetRuntimeState)
+from .prediction import BandwidthPredictor, PredictionRecord
+from .session import (InvocationRecord, OffloadSession, SessionOptions,
+                      SessionResult)
+from .local import LocalRunResult, run_local
+
+__all__ = [
+    "CLOUD_WAN", "FAST_WIFI", "IDEAL_NETWORK", "NETWORKS",
+    "NetworkModel", "SLOW_WIFI",
+    "BandwidthPredictor", "PredictionRecord",
+    "CommStats", "CommunicationManager", "TransferResult",
+    "COMPRESS_CYCLES_PER_BYTE", "DECOMPRESS_CYCLES_PER_BYTE",
+    "MESSAGE_HEADER_BYTES",
+    "FunctionAddressTable", "MAP_LOOKUP_CYCLES",
+    "UnmappableFunctionPointer",
+    "UVAManager", "UVAStats",
+    "DynamicPerformanceEstimator", "TargetRuntimeState",
+    "InvocationRecord", "OffloadSession", "SessionOptions", "SessionResult",
+    "LocalRunResult", "run_local",
+]

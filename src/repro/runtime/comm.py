@@ -1,0 +1,176 @@
+"""Communication manager: batching and compression (paper, Section 4).
+
+All mobile<->server traffic funnels through one :class:`CommunicationManager`
+so the runtime can (a) batch many page payloads into one network message,
+amortizing per-message overheads, and (b) compress server-to-mobile
+payloads with a real codec (zlib).  Compression is applied only in the
+server-to-mobile direction, exactly as in the paper: compressing on the
+slow mobile CPU would cost more than it saves, while mobile-side
+*decompression* is cheap.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .network import NetworkModel
+
+# Cost model for the codec itself (cycles per byte on the executing core).
+COMPRESS_CYCLES_PER_BYTE = 12.0     # server-side deflate
+DECOMPRESS_CYCLES_PER_BYTE = 3.0    # mobile-side inflate
+MESSAGE_HEADER_BYTES = 64           # per-message protocol overhead
+PER_ITEM_HEADER_BYTES = 16          # per-batched-item framing
+STREAM_OP_OVERHEAD_S = 25e-6        # per-op cost of pipelined output I/O
+
+
+@dataclass
+class CommStats:
+    messages: int = 0
+    bytes_to_server: int = 0          # uncompressed payload
+    bytes_to_mobile: int = 0
+    wire_bytes_to_server: int = 0     # after framing
+    wire_bytes_to_mobile: int = 0     # after compression + framing
+    compression_saved_bytes: int = 0
+    comm_seconds: float = 0.0
+    compression_seconds: float = 0.0
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return self.bytes_to_server + self.bytes_to_mobile
+
+
+@dataclass
+class TransferResult:
+    seconds: float
+    wire_bytes: int
+    payload_bytes: int
+
+
+class CommunicationManager:
+    def __init__(self, network: NetworkModel,
+                 enable_batching: bool = True,
+                 enable_compression: bool = True,
+                 server_clock_hz: float = 3.6e9,
+                 mobile_clock_hz: float = 2.5e9):
+        self.network = network
+        self.enable_batching = enable_batching
+        self.enable_compression = enable_compression
+        self.server_clock_hz = server_clock_hz
+        self.mobile_clock_hz = mobile_clock_hz
+        self.stats = CommStats()
+        self._active_batch = None  # (to_server, payload list) or None
+
+    # -- explicit batching windows --------------------------------------
+    def begin_batch(self, to_server: bool) -> None:
+        """Open a batching window: subsequent sends in this direction are
+        accumulated and shipped as one message by :meth:`flush_batch`.
+        A no-op when batching is disabled."""
+        if self.enable_batching:
+            self._active_batch = (to_server, [])
+
+    def flush_batch(self) -> TransferResult:
+        if self._active_batch is None:
+            return TransferResult(0.0, 0, 0)
+        to_server, payloads = self._active_batch
+        self._active_batch = None
+        if not payloads:
+            return TransferResult(0.0, 0, 0)
+        return self._send(payloads, to_server=to_server)
+
+    # -- mobile -> server -------------------------------------------------
+    def send_to_server(self, payloads: List[bytes]) -> TransferResult:
+        """Send payload items from the mobile device to the server.
+
+        With batching, all items travel in one message; without it, each
+        item pays its own message latency and header.
+        """
+        return self._send(payloads, to_server=True)
+
+    # -- server -> mobile (compressed) ---------------------------------
+    def send_to_mobile(self, payloads: List[bytes]) -> TransferResult:
+        return self._send(payloads, to_server=False)
+
+    def _send(self, payloads: List[bytes], to_server: bool) -> TransferResult:
+        if not payloads:
+            return TransferResult(0.0, 0, 0)
+        if (self._active_batch is not None
+                and self._active_batch[0] == to_server):
+            self._active_batch[1].extend(payloads)
+            return TransferResult(0.0, 0, sum(len(p) for p in payloads))
+        payload_bytes = sum(len(p) for p in payloads)
+        groups: List[List[bytes]] = (
+            [payloads] if self.enable_batching else [[p] for p in payloads])
+        seconds = 0.0
+        wire_total = 0
+        for group in groups:
+            raw = b"".join(group)
+            framing = (MESSAGE_HEADER_BYTES
+                       + PER_ITEM_HEADER_BYTES * len(group))
+            if not to_server and self.enable_compression and len(raw) >= 128:
+                compressed = zlib.compress(raw, 1)
+                if len(compressed) < len(raw):
+                    self.stats.compression_saved_bytes += (
+                        len(raw) - len(compressed))
+                    comp_secs = (len(raw) * COMPRESS_CYCLES_PER_BYTE
+                                 / self.server_clock_hz
+                                 + len(compressed)
+                                 * DECOMPRESS_CYCLES_PER_BYTE
+                                 / self.mobile_clock_hz)
+                    self.stats.compression_seconds += comp_secs
+                    seconds += comp_secs
+                    raw = compressed
+            wire = len(raw) + framing
+            seconds += self.network.one_way_time(wire)
+            wire_total += wire
+            self.stats.messages += 1
+        if to_server:
+            self.stats.bytes_to_server += payload_bytes
+            self.stats.wire_bytes_to_server += wire_total
+        else:
+            self.stats.bytes_to_mobile += payload_bytes
+            self.stats.wire_bytes_to_mobile += wire_total
+        self.stats.comm_seconds += seconds
+        return TransferResult(seconds, wire_total, payload_bytes)
+
+    def stream_to_mobile(self, payload: bytes) -> TransferResult:
+        """Asynchronous one-way output forwarding (remote *output* I/O).
+
+        With batching, outputs ride an established stream whose latency is
+        pipelined away and only a small per-operation overhead remains;
+        without batching every operation pays the full message latency —
+        this is exactly the overhead the runtime's batching amortizes.
+        """
+        if self.enable_batching:
+            seconds = (STREAM_OP_OVERHEAD_S
+                       + len(payload) / self.network.bandwidth_bytes_per_s)
+            wire = len(payload) + PER_ITEM_HEADER_BYTES
+        else:
+            seconds = self.network.one_way_time(
+                len(payload) + MESSAGE_HEADER_BYTES)
+            wire = len(payload) + MESSAGE_HEADER_BYTES
+        self.stats.messages += 1
+        self.stats.bytes_to_mobile += len(payload)
+        self.stats.wire_bytes_to_mobile += wire
+        self.stats.comm_seconds += seconds
+        return TransferResult(seconds, wire, len(payload))
+
+    def round_trip(self, request_bytes: int,
+                   response_bytes: int) -> TransferResult:
+        """A small control round trip (offload request, remote input)."""
+        seconds = self.network.round_trip_time(
+            request_bytes + MESSAGE_HEADER_BYTES,
+            response_bytes + MESSAGE_HEADER_BYTES)
+        self.stats.messages += 2
+        self.stats.bytes_to_server += request_bytes
+        self.stats.bytes_to_mobile += response_bytes
+        self.stats.wire_bytes_to_server += (request_bytes
+                                            + MESSAGE_HEADER_BYTES)
+        self.stats.wire_bytes_to_mobile += (response_bytes
+                                            + MESSAGE_HEADER_BYTES)
+        self.stats.comm_seconds += seconds
+        return TransferResult(seconds,
+                              request_bytes + response_bytes
+                              + 2 * MESSAGE_HEADER_BYTES,
+                              request_bytes + response_bytes)

@@ -1,0 +1,87 @@
+"""Dynamic performance estimation (paper, Sections 3.3 and 4).
+
+Unlike the compile-time estimator, the runtime decides per invocation using
+*current* conditions: the live network bandwidth, observed task execution
+times and observed data volumes.  This is what lets Native Offloader
+decline to offload 164.gzip-style tasks on a slow network instead of
+suffering a slowdown (Figure 6, the ``*`` entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..offload.partition import OffloadTarget
+from ..profiler.profile_data import ProfileData
+from .network import NetworkModel
+from .prediction import BandwidthPredictor
+
+
+@dataclass
+class TargetRuntimeState:
+    """Per-target observations refined as the program runs."""
+
+    observed_local_seconds: Optional[float] = None
+    observed_traffic_bytes: Optional[float] = None
+    decisions: int = 0
+    offloads: int = 0
+
+
+class DynamicPerformanceEstimator:
+    def __init__(self, profile: ProfileData,
+                 performance_ratio: float,
+                 network: NetworkModel,
+                 predictor: Optional[BandwidthPredictor] = None):
+        self.profile = profile
+        self.performance_ratio = performance_ratio
+        self.network = network
+        # Optional NWSLite-style forecaster (paper, Section 6): when set,
+        # Equation 1 uses the *predicted* bandwidth of the live link
+        # instead of its nominal rate.
+        self.predictor = predictor
+        self.state: Dict[str, TargetRuntimeState] = {}
+
+    def _state(self, name: str) -> TargetRuntimeState:
+        return self.state.setdefault(name, TargetRuntimeState())
+
+    # -- observations --------------------------------------------------
+    def record_local_time(self, name: str, seconds: float) -> None:
+        self._state(name).observed_local_seconds = seconds
+
+    def record_offload_traffic(self, name: str, bytes_moved: float) -> None:
+        state = self._state(name)
+        if state.observed_traffic_bytes is None:
+            state.observed_traffic_bytes = bytes_moved
+        else:  # exponential smoothing across invocations
+            state.observed_traffic_bytes = (
+                0.5 * state.observed_traffic_bytes + 0.5 * bytes_moved)
+
+    # -- the decision -------------------------------------------------
+    def estimate_gain(self, target: OffloadTarget) -> float:
+        """Per-invocation Equation 1 with run-time values."""
+        state = self._state(target.name)
+        prof = self.profile.candidates.get(target.name)
+        t_mobile = state.observed_local_seconds
+        if t_mobile is None:
+            t_mobile = (prof.seconds_per_invocation
+                        if prof is not None and prof.invocations else 0.0)
+        memory = state.observed_traffic_bytes
+        if memory is None:
+            memory = float(prof.memory_bytes) if prof is not None else 0.0
+        t_ideal = t_mobile * (1.0 - 1.0 / self.performance_ratio)
+        bandwidth = self.network.bandwidth_bytes_per_s
+        if self.predictor is not None:
+            bandwidth = self.predictor.predict_bps(
+                self.network.bandwidth_bps) / 8.0
+        t_comm = 2.0 * memory / bandwidth
+        return t_ideal - t_comm
+
+    def should_offload(self, target: OffloadTarget) -> bool:
+        state = self._state(target.name)
+        state.decisions += 1
+        gain = self.estimate_gain(target)
+        if gain > 0:
+            state.offloads += 1
+            return True
+        return False

@@ -1,0 +1,61 @@
+"""Pure-local execution baseline.
+
+Figure 6 normalizes every configuration to local execution on the
+smartphone; this helper runs an (unmodified or partitioned-mobile) module
+on one machine with time and battery accounting and no offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from ..machine.energy import EnergyMeter, PowerTrace
+from ..machine.fs import IOEnvironment
+from ..machine.interpreter import Interpreter
+from ..machine.libc import install_libc
+from ..machine.machine import Machine
+from ..offload.unify import unified_data_layout
+from ..targets.arch import TargetArch
+from ..targets.presets import ARM32
+
+
+@dataclass
+class LocalRunResult:
+    seconds: float
+    energy_mj: float
+    exit_code: int
+    stdout: str
+    instructions: int
+    power_trace: PowerTrace
+
+
+def run_local(module: Module,
+              arch: TargetArch = ARM32,
+              role: str = "mobile",
+              stdin: bytes = b"",
+              files: Optional[Dict[str, bytes]] = None,
+              page_size: int = 4096,
+              power_mw: Optional[Dict[str, float]] = None,
+              max_instructions: int = 500_000_000) -> LocalRunResult:
+    """Execute a module start-to-finish on a single machine."""
+    machine = Machine(arch, role,
+                      io=IOEnvironment(files=files, stdin=stdin),
+                      page_size=page_size)
+    machine.set_layout(unified_data_layout(module, arch))
+    install_libc(machine)
+    machine.load(module)
+    interp = Interpreter(machine, max_instructions=max_instructions)
+    exit_code = interp.run_main()
+    meter = EnergyMeter(power_mw)
+    seconds = interp.time_seconds
+    meter.charge(0.0, seconds, "compute")
+    return LocalRunResult(
+        seconds=seconds,
+        energy_mj=meter.total_energy_mj,
+        exit_code=exit_code,
+        stdout=machine.io.stdout_text(),
+        instructions=interp.instruction_count,
+        power_trace=meter.trace,
+    )

@@ -1,0 +1,60 @@
+"""Wireless network models.
+
+The paper evaluates under two Wi-Fi environments: a slow 802.11n link
+(144 Mbps nominal) and a fast 802.11ac link (844 Mbps nominal).  Effective
+throughput of real Wi-Fi is well below nominal; the models below use
+effective rates consistent with the paper's estimator example (80 Mbps for
+the slow network, Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A symmetric wireless link."""
+
+    name: str
+    bandwidth_bps: float     # effective payload bandwidth, bits/second
+    latency_s: float         # one-way latency per message
+    slow: bool = False       # drives the transmit-power model (Fig. 8)
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_bps / 8.0
+
+    def one_way_time(self, payload_bytes: int) -> float:
+        """Latency + serialization for one message."""
+        return self.latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+    def round_trip_time(self, request_bytes: int,
+                        response_bytes: int) -> float:
+        return (self.one_way_time(request_bytes)
+                + self.one_way_time(response_bytes))
+
+
+# 802.11n: 144 Mbps nominal -> ~80 Mbps effective (the paper's Table 3
+# example bandwidth), higher latency.
+SLOW_WIFI = NetworkModel("802.11n", bandwidth_bps=80e6, latency_s=2.0e-3,
+                         slow=True)
+
+# 802.11ac: 844 Mbps nominal -> ~420 Mbps effective.
+FAST_WIFI = NetworkModel("802.11ac", bandwidth_bps=420e6, latency_s=1.0e-3,
+                         slow=False)
+
+# A distant cloud server reached over the WAN: similar bandwidth to the
+# fast WLAN but ~25x the latency.  The paper's Section 6 cites Cloudlet:
+# "the use of a nearby server instead of a cloud server that has higher
+# latency and lower bandwidth" reduces communication latency — compare
+# offloading over CLOUD_WAN against FAST_WIFI (the cloudlet).
+CLOUD_WAN = NetworkModel("cloud-wan", bandwidth_bps=200e6,
+                         latency_s=25e-3, slow=False)
+
+# Overhead-free link for the "Ideal offloading" series of Figure 6.
+IDEAL_NETWORK = NetworkModel("ideal", bandwidth_bps=1e18, latency_s=0.0,
+                             slow=False)
+
+NETWORKS = {net.name: net
+            for net in (SLOW_WIFI, FAST_WIFI, CLOUD_WAN, IDEAL_NETWORK)}

@@ -1,0 +1,557 @@
+"""The Native Offloader runtime: seamless cooperative execution of the
+offloading-enabled binaries (paper, Section 4, Figure 5).
+
+An :class:`OffloadSession` owns one mobile machine and one server machine,
+loads the two partitions, wires the runtime services (dynamic estimation,
+UVA copy-on-demand, remote I/O forwarding, function-pointer mapping), and
+executes the program with full time/energy accounting:
+
+    local execution -> [decision] -> initialization -> offloading
+    execution (CoD faults, remote I/O) -> finalization -> local execution
+
+Simulated wall-clock time on the mobile device is the sum of its own
+compute time plus everything it waits for; the power-state model integrates
+that timeline into battery energy (Figures 6(b) and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..machine.energy import EnergyMeter, PowerTrace
+from ..machine.fs import IOEnvironment
+from ..machine.interpreter import ExitProgram, Interpreter
+from ..machine.libc import format_printf, install_libc
+from ..machine.machine import MOBILE_STACK_TOP, Machine
+from ..offload.partition import OffloadTarget, OFFLOAD_PREFIX, SHOULD_OFFLOAD
+from ..offload.pipeline import OffloadProgram
+from ..offload.server_opt import M2S_FCN_MAP, S2M_FCN_MAP
+from ..offload.unify import unified_data_layout
+from ..runtime.comm import CommunicationManager
+from ..runtime.dynamic_estimator import DynamicPerformanceEstimator
+from ..runtime.fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES)
+from ..runtime.network import NetworkModel
+from ..runtime.uva import UVAManager
+
+
+@dataclass
+class SessionOptions:
+    page_size: int = 4096
+    enable_prefetch: bool = True
+    enable_batching: bool = True
+    enable_compression: bool = True
+    enable_copy_on_demand: bool = True
+    enable_dynamic_estimation: bool = True
+    enable_stack_reallocation: bool = True
+    # NWSLite-style bandwidth prediction (paper, Section 6): the dynamic
+    # estimator forecasts the live link's bandwidth from observed
+    # transfers instead of trusting its nominal rate.
+    enable_bandwidth_prediction: bool = False
+    # Ideal-offloading mode: overheads (communication, remote I/O,
+    # function-pointer translation) cost zero time; Figure 6's "Ideal".
+    zero_overhead: bool = False
+    force_local: bool = False
+    max_instructions: int = 500_000_000
+    power_mw: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class InvocationRecord:
+    """Accounting for one dynamic offload decision site execution."""
+
+    target: str
+    offloaded: bool
+    init_seconds: float = 0.0
+    server_seconds: float = 0.0
+    cod_seconds: float = 0.0
+    remote_io_seconds: float = 0.0
+    fnptr_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    bytes_to_server: int = 0
+    bytes_to_mobile: int = 0
+    cod_faults: int = 0
+    local_seconds: float = 0.0
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.bytes_to_server + self.bytes_to_mobile
+
+
+@dataclass
+class SessionResult:
+    program: str
+    network: str
+    exit_code: int
+    stdout: str
+    total_seconds: float
+    mobile_compute_seconds: float
+    server_compute_seconds: float
+    comm_seconds: float
+    remote_io_seconds: float
+    fnptr_seconds: float
+    energy_mj: float
+    power_trace: PowerTrace
+    invocations: List[InvocationRecord]
+    instructions_mobile: int
+    instructions_server: int
+    cod_faults: int
+    bytes_to_server: int
+    bytes_to_mobile: int
+    compression_saved_bytes: int
+
+    @property
+    def offloaded_invocations(self) -> int:
+        return sum(1 for r in self.invocations if r.offloaded)
+
+    @property
+    def declined_invocations(self) -> int:
+        return sum(1 for r in self.invocations if not r.offloaded)
+
+    def breakdown(self) -> Dict[str, float]:
+        """The Figure 7 stack: computation / fn-ptr / remote I/O / comm."""
+        return {
+            "computation": (self.mobile_compute_seconds
+                            + self.server_compute_seconds),
+            "fn_ptr_translation": self.fnptr_seconds,
+            "remote_io": self.remote_io_seconds,
+            "communication": self.comm_seconds,
+        }
+
+    @property
+    def traffic_per_invocation_mb(self) -> float:
+        n = max(self.offloaded_invocations, 1)
+        return (self.bytes_to_server + self.bytes_to_mobile) / n / 1e6
+
+
+from ..machine.interpreter import Observer as _Observer
+
+
+class _TargetTimer(_Observer):
+    """Times locally-executed offload targets on the mobile device so the
+    dynamic estimator can refine its Tm with observed run-time values
+    (paper, Section 4: "target execution time information")."""
+
+    wants_memory = False
+    wants_blocks = False
+
+    def __init__(self, session: "OffloadSession"):
+        self.session = session
+        self.targets = {t.name for t in session.program.targets}
+        self.clock_hz = session.mobile.arch.clock_hz
+        self._stack = []
+
+    def enter_function(self, fn, cycles: float) -> None:
+        if fn.name in self.targets:
+            self._stack.append((fn.name, cycles))
+
+    def exit_function(self, fn, cycles: float) -> None:
+        if self._stack and self._stack[-1][0] == fn.name:
+            name, start = self._stack.pop()
+            self.session.estimator.record_local_time(
+                name, (cycles - start) / self.clock_hz)
+
+
+class OffloadSession:
+    """Executes one offloading-enabled program over one network."""
+
+    def __init__(self, program: OffloadProgram, network: NetworkModel,
+                 options: Optional[SessionOptions] = None,
+                 stdin: bytes = b"",
+                 files: Optional[Dict[str, bytes]] = None):
+        self.program = program
+        self.network = network
+        self.options = options or SessionOptions()
+        opts = self.options
+
+        mobile_arch = program.options.mobile_arch
+        server_arch = program.options.server_arch
+        self.mobile = Machine(mobile_arch, "mobile",
+                              io=IOEnvironment(files=files, stdin=stdin),
+                              page_size=opts.page_size)
+        self.server = Machine(server_arch, "server",
+                              page_size=opts.page_size)
+        if not opts.enable_stack_reallocation:
+            self.server.stack_top = MOBILE_STACK_TOP
+        # Unified data layout: the mobile layout rules both machines.
+        self.mobile.set_layout(
+            unified_data_layout(program.mobile_module, mobile_arch))
+        self.server.set_layout(
+            unified_data_layout(program.server_module, server_arch))
+        install_libc(self.mobile)
+        install_libc(self.server)
+        self.mobile.load(program.mobile_module)
+        self.server.load(program.server_module)
+
+        self.comm = CommunicationManager(
+            network,
+            enable_batching=opts.enable_batching,
+            enable_compression=opts.enable_compression,
+            server_clock_hz=server_arch.clock_hz,
+            mobile_clock_hz=mobile_arch.clock_hz)
+        self.uva = UVAManager(self.mobile, self.server, self.comm,
+                              enable_prefetch=opts.enable_prefetch,
+                              enable_copy_on_demand=opts.enable_copy_on_demand)
+        self.fcn_table = FunctionAddressTable(self.mobile, self.server)
+        from .prediction import BandwidthPredictor
+        self.predictor = (BandwidthPredictor()
+                          if opts.enable_bandwidth_prediction else None)
+        self.estimator = DynamicPerformanceEstimator(
+            program.profile, program.options.resolved_ratio(), network,
+            predictor=self.predictor)
+        self.meter = EnergyMeter(opts.power_mw)
+
+        # Timeline bookkeeping (see _advance / _mark_compute).
+        self.extra_seconds = 0.0      # non-compute wall time so far
+        self._compute_mark = 0.0      # mobile interp seconds already traced
+        self.remote_io_seconds = 0.0
+        self.remote_io_count = 0
+        self.server_instructions = 0
+        self.server_compute_seconds = 0.0
+        self.fnptr_seconds = 0.0
+        self.invocations: List[InvocationRecord] = []
+        self.mobile_interp: Optional[Interpreter] = None
+        self._current_server_interp: Optional[Interpreter] = None
+        self._rio_pending = 0.0
+        self._register_runtime_builtins()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, argv: tuple = ()) -> SessionResult:
+        interp = Interpreter(self.mobile, observer=_TargetTimer(self),
+                             max_instructions=self.options.max_instructions)
+        self.mobile_interp = interp
+        exit_code = interp.run_main(argv)
+        self._mark_compute()
+        trace = self.meter.trace
+        total = self.now()
+        return SessionResult(
+            program=self.program.name,
+            network=self.network.name,
+            exit_code=exit_code,
+            stdout=self.mobile.io.stdout_text(),
+            total_seconds=total,
+            mobile_compute_seconds=interp.time_seconds,
+            server_compute_seconds=max(
+                self.server_compute_seconds - self.fnptr_seconds
+                - self._server_side_io_seconds(), 0.0),
+            comm_seconds=(0.0 if self.options.zero_overhead
+                          else self.comm.stats.comm_seconds),
+            remote_io_seconds=self.remote_io_seconds,
+            fnptr_seconds=self.fnptr_seconds,
+            energy_mj=trace.total_energy_mj,
+            power_trace=trace,
+            invocations=self.invocations,
+            instructions_mobile=interp.instruction_count,
+            instructions_server=self.server_instructions,
+            cod_faults=self.uva.stats.cod_faults,
+            bytes_to_server=self.comm.stats.bytes_to_server,
+            bytes_to_mobile=self.comm.stats.bytes_to_mobile,
+            compression_saved_bytes=self.comm.stats.compression_saved_bytes,
+        )
+
+    def now(self) -> float:
+        """Current simulated mobile wall-clock time."""
+        mobile = (self.mobile_interp.time_seconds
+                  if self.mobile_interp is not None else 0.0)
+        return mobile + self.extra_seconds
+
+    # ------------------------------------------------------------------
+    # Timeline / power helpers
+    # ------------------------------------------------------------------
+    def _mark_compute(self) -> None:
+        """Emit the pending mobile-compute interval into the power trace."""
+        if self.mobile_interp is None:
+            return
+        compute = self.mobile_interp.time_seconds
+        if compute > self._compute_mark:
+            start = self._compute_mark + self.extra_seconds
+            end = compute + self.extra_seconds
+            self.meter.charge(start, end, "compute")
+            self._compute_mark = compute
+
+    def _advance(self, seconds: float, state: str,
+                 power_mw: Optional[float] = None) -> None:
+        """Advance wall time by a non-compute interval."""
+        if seconds <= 0:
+            return
+        start = self.now()
+        self.extra_seconds += seconds
+        self.meter.charge(start, start + seconds, state, power_mw)
+
+    def _server_side_io_seconds(self) -> float:
+        return 0.0  # remote I/O time is tracked separately already
+
+    # ------------------------------------------------------------------
+    # Runtime builtins
+    # ------------------------------------------------------------------
+    def _register_runtime_builtins(self) -> None:
+        mobile, server = self.mobile, self.server
+        mobile.register_builtin(SHOULD_OFFLOAD, self._bi_should_offload)
+        for target in self.program.targets:
+            mobile.register_builtin(OFFLOAD_PREFIX + target.name,
+                                    self._make_offload_builtin(target))
+        server.register_builtin(M2S_FCN_MAP, self._bi_m2s)
+        server.register_builtin(S2M_FCN_MAP, self._bi_s2m)
+        for name in ("printf", "puts", "putchar", "fprintf", "fwrite",
+                     "fopen", "fclose", "fread", "fgets", "fgetc", "feof"):
+            server.register_builtin("r_" + name,
+                                    self._make_remote_io(name))
+
+    # -- decision ---------------------------------------------------------
+    def _bi_should_offload(self, interp: Interpreter, args) -> int:
+        target = self.program.partition.target_by_id(int(args[0]))
+        interp.charge("alu", 40)  # estimation cost
+        if self.options.force_local:
+            decision = False
+        elif not self.options.enable_dynamic_estimation:
+            decision = True
+        else:
+            decision = self.estimator.should_offload(target)
+        if not decision:
+            self.invocations.append(
+                InvocationRecord(target=target.name, offloaded=False))
+        return 1 if decision else 0
+
+    # -- fn-ptr mapping ---------------------------------------------------
+    def _charge_fnptr(self, interp: Interpreter) -> None:
+        if self.options.zero_overhead:
+            return
+        interp.charge_raw_cycles(MAP_LOOKUP_CYCLES, "alu")
+        self.fnptr_seconds += (MAP_LOOKUP_CYCLES
+                               / self.server.arch.clock_hz)
+
+    def _bi_m2s(self, interp: Interpreter, args) -> int:
+        self._charge_fnptr(interp)
+        return self.fcn_table.map_m2s(int(args[0]))
+
+    def _bi_s2m(self, interp: Interpreter, args) -> int:
+        self._charge_fnptr(interp)
+        return self.fcn_table.map_s2m(int(args[0]))
+
+    # -- remote I/O ------------------------------------------------------
+    def _make_remote_io(self, name: str):
+        def builtin(interp: Interpreter, args):
+            return self._remote_io(name, interp, args)
+        return builtin
+
+    def _remote_input_cost(self, nbytes: int) -> float:
+        """Cost of one remote *input* operation.
+
+        File input is remotely executable because the runtime prefetches
+        file data and pipelines requests (paper, Section 3.4 / Rio [23]),
+        so an individual read does not pay a full network round trip —
+        just a pipelined-RPC overhead plus serialization.  It is still far
+        more expensive than local I/O, which is why 300.twolf, 445.gobmk
+        and 464.h264ref show large remote-I/O overheads in Figure 7."""
+        result = self.comm.round_trip(24, nbytes)
+        pipelined = (max(100e-6, self.network.latency_s / 8.0)
+                     + nbytes / self.network.bandwidth_bytes_per_s)
+        # round_trip() recorded the traffic; replace its latency-bound
+        # timing with the pipelined figure.
+        self.comm.stats.comm_seconds += pipelined - result.seconds
+        return pipelined
+
+    def _remote_io(self, name: str, interp: Interpreter, args):
+        """Execute an I/O operation of the server partition on the mobile
+        device, charging the forwarding cost."""
+        mobile_io = self.mobile.io
+        server_mem = self.server.memory
+        self.remote_io_count += 1
+        seconds = 0.0
+        result = 0
+        if name == "printf":
+            fmt = server_mem.read_cstring(int(args[0]))
+            text = format_printf(interp, fmt, args[1:])
+            mobile_io.write_stdout(text)
+            seconds = self.comm.stream_to_mobile(text).seconds
+            result = len(text)
+        elif name == "puts":
+            text = server_mem.read_cstring(int(args[0])) + b"\n"
+            mobile_io.write_stdout(text)
+            seconds = self.comm.stream_to_mobile(text).seconds
+            result = len(text)
+        elif name == "putchar":
+            ch = bytes([int(args[0]) & 0xFF])
+            mobile_io.write_stdout(ch)
+            seconds = self.comm.stream_to_mobile(ch).seconds
+            result = int(args[0])
+        elif name == "fprintf":
+            fmt = server_mem.read_cstring(int(args[1]))
+            text = format_printf(interp, fmt, args[2:])
+            handle = int(args[0])
+            f = mobile_io.file(handle)
+            if f is None:
+                mobile_io.write_stdout(text)
+            else:
+                f.write(text)
+            seconds = self.comm.stream_to_mobile(text).seconds
+            result = len(text)
+        elif name == "fwrite":
+            ptr, size, count, handle = (int(args[0]), int(args[1]),
+                                        int(args[2]), int(args[3]))
+            data = server_mem.read(ptr, size * count)
+            f = mobile_io.file(handle)
+            written = f.write(data) if f is not None else 0
+            seconds = self.comm.stream_to_mobile(data).seconds
+            result = written // size if size else 0
+        elif name == "fopen":
+            path = server_mem.read_cstring(int(args[0])).decode()
+            mode = server_mem.read_cstring(int(args[1])).decode()
+            result = mobile_io.open(path, mode)
+            seconds = self.comm.round_trip(len(path) + 16, 16).seconds
+        elif name == "fclose":
+            result = mobile_io.close(int(args[0])) & 0xFFFFFFFF
+            seconds = self.comm.round_trip(16, 16).seconds
+        elif name == "fread":
+            ptr, size, count, handle = (int(args[0]), int(args[1]),
+                                        int(args[2]), int(args[3]))
+            f = mobile_io.file(handle)
+            data = f.read(size * count) if f is not None else b""
+            if data:
+                server_mem.write(ptr, data)
+            seconds = self._remote_input_cost(len(data))
+            result = len(data) // size if size else 0
+        elif name == "fgets":
+            ptr, limit, handle = int(args[0]), int(args[1]), int(args[2])
+            f = mobile_io.file(handle)
+            if f is None or f.at_eof:
+                seconds = self._remote_input_cost(16)
+                result = 0
+            else:
+                line = f.read_line(limit)
+                server_mem.write(ptr, line + b"\x00")
+                seconds = self._remote_input_cost(len(line))
+                result = ptr
+        elif name == "fgetc":
+            f = mobile_io.file(int(args[0]))
+            ch = f.read(1) if f is not None else b""
+            seconds = self._remote_input_cost(1)
+            result = ch[0] if ch else 0xFFFFFFFF
+        elif name == "feof":
+            f = mobile_io.file(int(args[0]))
+            seconds = self._remote_input_cost(1)
+            result = 1 if (f is None or f.at_eof) else 0
+        else:
+            raise KeyError(f"unknown remote I/O function {name}")
+        if self.options.zero_overhead:
+            seconds = 0.0
+        else:
+            interp.charge("call", 4)  # request marshalling on the server
+        self.remote_io_seconds += seconds
+        self._rio_pending += seconds
+        return result
+
+    def _prefetch_pages(self, target_name: str, stack_pointer: int) -> set:
+        """The "most likely used" page set pushed at initialization.
+
+        The profiler recorded which pages the target touched under the
+        *profiling* input; heap pages from that run are translated into
+        the UVA heap (allocation order is deterministic, so offsets
+        carry over, give or take a page).  The live mobile stack and the
+        UVA-globals pages join the set.  Anything the evaluation input
+        touches beyond this is served by copy-on-demand."""
+        from ..machine.machine import (NATIVE_HEAP_BASES, NATIVE_HEAP_SIZE,
+                                       MOBILE_STACK_TOP, STACK_SIZE,
+                                       UVA_HEAP_BASE)
+        psize = self.options.page_size
+        uva_base = UVA_HEAP_BASE // psize
+        stack_high = MOBILE_STACK_TOP // psize
+        pages = set(self.uva.live_mobile_pages(stack_pointer))
+        # UVA-reallocated globals live at the base of the UVA heap.
+        pages.update(range(uva_base, uva_base + 2))
+        # live stack frames of the suspended mobile execution
+        pages.update(range(stack_pointer // psize - 1, stack_high + 1))
+        return pages
+
+    # -- the offload protocol ----------------------------------------------
+    def _make_offload_builtin(self, target: OffloadTarget):
+        def builtin(interp: Interpreter, args):
+            return self._perform_offload(target, interp, list(args))
+        return builtin
+
+    def _perform_offload(self, target: OffloadTarget, interp: Interpreter,
+                         args: List):
+        opts = self.options
+        zero = opts.zero_overhead
+        self._mark_compute()
+        record = InvocationRecord(target=target.name, offloaded=True)
+        comm_before = self.comm.stats
+        bytes_s0 = comm_before.bytes_to_server
+        bytes_m0 = comm_before.bytes_to_mobile
+        faults0 = self.uva.stats.cod_faults
+
+        # ---- initialization (Figure 5) --------------------------------
+        # One batched message carries the offload request, the page table,
+        # the allocator state and the prefetched pages.
+        self.comm.begin_batch(to_server=True)
+        init_seconds = self.uva.synchronize_page_table()
+        init_seconds += self.uva.push_allocator_state()
+        if opts.enable_prefetch:
+            init_seconds += self.uva.prefetch(
+                self._prefetch_pages(target.name, interp.sp))
+        # offload request: target id, stack pointer, argument registers
+        request = 32 + 16 * len(args)
+        init_seconds += self.comm.send_to_server(
+            [b"\x00" * request]).seconds
+        init_seconds += self.comm.flush_batch().seconds
+        if zero:
+            init_seconds = 0.0
+        record.init_seconds = init_seconds
+        self._advance(init_seconds, "transmit",
+                      self.meter.transmit_power(0.9, self.network.slow))
+
+        # ---- offloading execution ------------------------------------
+        self.server.memory.clear_dirty()
+        server_interp = Interpreter(
+            self.server, max_instructions=opts.max_instructions)
+        self._current_server_interp = server_interp
+        rio0 = self._rio_pending
+        self._rio_pending = 0.0
+        cod0 = self.uva.stats.cod_seconds
+        fn = self.server.module.function(target.name)
+        result = server_interp.call_function(fn, args)
+        self._current_server_interp = None
+        cod_seconds = 0.0 if zero else self.uva.stats.cod_seconds - cod0
+        rio_seconds = self._rio_pending
+        self._rio_pending = rio0
+        server_seconds = server_interp.time_seconds
+        self.server_instructions += server_interp.instruction_count
+        self.server_compute_seconds += server_seconds
+        record.server_seconds = server_seconds
+        record.cod_seconds = cod_seconds
+        record.remote_io_seconds = rio_seconds
+        # the mobile waits while the server computes; it receives during
+        # CoD transfers and services remote I/O bursts
+        self._advance(server_seconds, "wait")
+        self._advance(cod_seconds, "receive")
+        self._advance(rio_seconds, "remote_io")
+
+        # ---- finalization ----------------------------------------------
+        # One batched, compressed message carries the termination signal,
+        # the return value, the dirty pages and the allocator state.
+        self.comm.begin_batch(to_server=False)
+        fin_seconds, _ = self.uva.write_back()
+        fin_seconds += self.uva.pull_allocator_state()
+        fin_seconds += self.comm.send_to_mobile([b"\x00" * 64]).seconds
+        fin_seconds += self.comm.flush_batch().seconds
+        if zero:
+            fin_seconds = 0.0
+        record.finalize_seconds = fin_seconds
+        self._advance(fin_seconds, "receive")
+
+        record.bytes_to_server = (self.comm.stats.bytes_to_server - bytes_s0)
+        record.bytes_to_mobile = (self.comm.stats.bytes_to_mobile - bytes_m0)
+        record.cod_faults = self.uva.stats.cod_faults - faults0
+        if self.predictor is not None:
+            if init_seconds > 0:
+                self.predictor.observe_transfer(record.bytes_to_server,
+                                                init_seconds)
+            if fin_seconds > 0:
+                self.predictor.observe_transfer(record.bytes_to_mobile,
+                                                fin_seconds)
+        self.invocations.append(record)
+        self.estimator.record_offload_traffic(
+            target.name, record.traffic_bytes)
+        return result

@@ -1,0 +1,178 @@
+"""UVA manager: copy-on-demand page sharing and dirty write-back
+(paper, Section 4, Figure 5).
+
+Both machines address shared data through the same unified virtual
+addresses.  At offload initialization the server's view of shared memory is
+invalidated (page-table synchronization); hot pages are prefetched; any
+other shared page the server touches faults and is pulled from the mobile
+device on demand.  At finalization the server's dirty pages are written
+back to the mobile device in one compressed batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..machine.machine import (Machine, CODE_BASES, GLOBAL_BASES,
+                               NATIVE_HEAP_BASES, NATIVE_HEAP_SIZE,
+                               MOBILE_STACK_TOP, SERVER_STACK_TOP,
+                               STACK_SIZE, UVA_HEAP_BASE, UVA_HEAP_SIZE)
+from .comm import CommunicationManager
+
+PAGE_TABLE_ENTRY_BYTES = 8
+
+
+@dataclass
+class UVAStats:
+    cod_faults: int = 0
+    cod_bytes: int = 0
+    cod_seconds: float = 0.0
+    prefetched_pages: int = 0
+    prefetch_bytes: int = 0
+    written_back_pages: int = 0
+    written_back_bytes: int = 0
+
+
+class UVAManager:
+    """Coordinates the shared address space between one mobile machine and
+    one server machine."""
+
+    def __init__(self, mobile: Machine, server: Machine,
+                 comm: CommunicationManager,
+                 enable_prefetch: bool = True,
+                 enable_copy_on_demand: bool = True):
+        if mobile.memory.page_size != server.memory.page_size:
+            raise ValueError("page size mismatch between machines")
+        self.mobile = mobile
+        self.server = server
+        self.comm = comm
+        self.enable_prefetch = enable_prefetch
+        self.enable_copy_on_demand = enable_copy_on_demand
+        self.page_size = mobile.memory.page_size
+        self.stats = UVAStats()
+        self._server_private = self._private_ranges(server)
+        server.memory.fault_handler = self._server_fault
+
+    # -- region classification ----------------------------------------
+    def _private_ranges(self, machine: Machine) -> List[Tuple[int, int]]:
+        """Address ranges private to the server (never shared/CoD)."""
+        return [
+            (CODE_BASES["server"], GLOBAL_BASES["mobile"]
+             - CODE_BASES["server"]),
+            (GLOBAL_BASES["server"], 0x0008_0000),
+            (machine.stack_top - STACK_SIZE, STACK_SIZE + self.page_size),
+        ]
+
+    def is_server_private(self, address: int) -> bool:
+        return any(base <= address < base + size
+                   for base, size in self._server_private)
+
+    def shareable(self, page_index: int) -> bool:
+        return not self.is_server_private(page_index * self.page_size)
+
+    # -- offload life-cycle steps ----------------------------------------
+    def synchronize_page_table(self) -> float:
+        """Initialization: ship the mobile page table and invalidate the
+        server's stale view of shared memory.  Returns the transfer time
+        of the page-table metadata."""
+        shared_mobile_pages = [p for p in self.mobile.memory.mapped_pages()
+                               if self.shareable(p)]
+        for pidx in list(self.server.memory.pages):
+            if self.shareable(pidx):
+                self.server.memory.unmap_page(pidx)
+        table_bytes = PAGE_TABLE_ENTRY_BYTES * max(
+            len(shared_mobile_pages), 1)
+        return self.comm.send_to_server(
+            [b"\x00" * table_bytes]).seconds
+
+    def live_mobile_pages(self, stack_pointer: int = 0) -> List[int]:
+        """Pages "most likely used" by an offloaded task: the mobile's
+        mapped UVA-heap pages plus the live top of the mobile stack.  This
+        is the prefetch set of the initialization step (Figure 5)."""
+        pages: List[int] = []
+        for pidx in self.mobile.memory.mapped_pages():
+            base = pidx * self.page_size
+            if UVA_HEAP_BASE <= base < UVA_HEAP_BASE + UVA_HEAP_SIZE:
+                pages.append(pidx)
+            elif stack_pointer and (
+                    stack_pointer - self.page_size <= base
+                    < MOBILE_STACK_TOP):
+                pages.append(pidx)
+        return pages
+
+    def prefetch(self, pages: Iterable[int]) -> float:
+        """Initialization: push likely-used mobile pages to the server in
+        one batched transfer."""
+        if not self.enable_prefetch:
+            return 0.0
+        payloads = []
+        installed = {}
+        for pidx in sorted(set(pages)):
+            if not self.shareable(pidx):
+                continue
+            if pidx not in self.mobile.memory.pages:
+                continue
+            data = self.mobile.memory.page_bytes(pidx)
+            payloads.append(data)
+            installed[pidx] = data
+        if not payloads:
+            return 0.0
+        self.server.memory.install_pages(installed)
+        self.stats.prefetched_pages += len(installed)
+        self.stats.prefetch_bytes += sum(len(p) for p in payloads)
+        return self.comm.send_to_server(payloads).seconds
+
+    def _server_fault(self, page_index: int) -> bool:
+        """Copy-on-demand: a server access faulted; pull the page from the
+        mobile device over the network (one round trip per fault)."""
+        if not self.enable_copy_on_demand:
+            return False
+        if not self.shareable(page_index):
+            return False
+        if page_index not in self.mobile.memory.pages:
+            return False
+        data = self.mobile.memory.page_bytes(page_index)
+        result = self.comm.round_trip(PAGE_TABLE_ENTRY_BYTES, len(data))
+        self.server.memory.map_page(page_index, data)
+        # the freshly copied page is not dirty on the server
+        self.server.memory.dirty.discard(page_index)
+        self.stats.cod_faults += 1
+        self.stats.cod_bytes += len(data)
+        self.stats.cod_seconds += result.seconds
+        return True
+
+    def write_back(self) -> Tuple[float, int]:
+        """Finalization: send all server dirty pages (in the shared region)
+        back to the mobile device, batched and compressed.  Returns
+        (seconds, payload_bytes)."""
+        dirty = self.server.memory.collect_dirty_pages()
+        payloads = []
+        installed = {}
+        for pidx, data in dirty.items():
+            if not self.shareable(pidx):
+                continue
+            payloads.append(data)
+            installed[pidx] = data
+        self.mobile.memory.install_pages(installed, mark_dirty=True)
+        self.stats.written_back_pages += len(installed)
+        bytes_back = sum(len(p) for p in payloads)
+        self.stats.written_back_bytes += bytes_back
+        if not payloads:
+            return 0.0, 0
+        return self.comm.send_to_mobile(payloads).seconds, bytes_back
+
+    # -- allocator state synchronization ----------------------------------
+    def push_allocator_state(self) -> float:
+        """Ship the UVA allocator state mobile->server so server-side
+        u_malloc continues from the same heap."""
+        state = self.mobile.uva_heap.snapshot()
+        self.server.uva_heap.restore(state)
+        approx = 32 + 16 * len(state["free_list"])
+        return self.comm.send_to_server([b"\x00" * approx]).seconds
+
+    def pull_allocator_state(self) -> float:
+        state = self.server.uva_heap.snapshot()
+        self.mobile.uva_heap.restore(state)
+        approx = 32 + 16 * len(state["free_list"])
+        return self.comm.send_to_mobile([b"\x00" * approx]).seconds

@@ -1,0 +1,13 @@
+"""Target architecture descriptions and the ABI layout engine."""
+
+from .arch import (BIG, CYCLE_TIME_SCALE, INST_CLASSES, LITTLE, TargetArch,
+                   performance_ratio)
+from .abi import DataLayout, StructLayout, layouts_differ
+from .presets import ARM32, ARM64, MIPS32BE, PRESETS, X86, X86_64, target_named
+
+__all__ = [
+    "BIG", "CYCLE_TIME_SCALE", "LITTLE", "INST_CLASSES", "TargetArch",
+    "performance_ratio",
+    "DataLayout", "StructLayout", "layouts_differ",
+    "ARM32", "ARM64", "MIPS32BE", "PRESETS", "X86", "X86_64", "target_named",
+]

@@ -1,0 +1,71 @@
+"""Workload infrastructure.
+
+Each evaluated program is a :class:`WorkloadSpec`: a mini-C source, a
+profiling input and a (larger) evaluation input — the paper stresses that
+profiling and evaluation use *different* inputs — plus the paper's Table 4
+row for side-by-side reporting in EXPERIMENTS.md.
+
+The programs are scaled-down counterparts of the paper's SPEC CPU2000/2006
+C benchmarks.  Each one reproduces the *structure* its original exhibits in
+Table 4: which function/loop becomes the offload target, how often it is
+invoked, whether it leans on function pointers, remote file input, or bulk
+data traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..frontend.driver import compile_c
+from ..ir.module import Module
+from ..targets.arch import TargetArch
+from ..targets.presets import ARM32
+
+
+@dataclass
+class PaperRow:
+    """The original program's Table 4 row (for reporting only)."""
+
+    loc: str = ""
+    exec_time_s: float = 0.0
+    offloaded_functions: str = ""
+    referenced_globals: str = ""
+    fn_ptrs: int = 0
+    target: str = ""
+    coverage_pct: float = 0.0
+    invocations: int = 0
+    traffic_mb: float = 0.0
+
+
+@dataclass
+class WorkloadSpec:
+    name: str
+    description: str
+    source: str
+    profile_stdin: bytes = b""
+    eval_stdin: bytes = b""
+    profile_files: Dict[str, bytes] = field(default_factory=dict)
+    eval_files: Dict[str, bytes] = field(default_factory=dict)
+    # The target the paper reports for the original program.
+    paper: PaperRow = field(default_factory=PaperRow)
+    # Expected behaviours used by tests and EXPERIMENTS.md commentary.
+    expect_offload_slow: bool = True     # offloaded on the slow network?
+    comm_heavy: bool = False             # gzip/bzip2/mcf/lbm class
+    remote_input_heavy: bool = False     # twolf/gobmk/h264 class
+    fn_ptr_heavy: bool = False           # gobmk/sjeng/h264 class
+    _module_cache: Dict[str, Module] = field(default_factory=dict,
+                                             repr=False)
+
+    @property
+    def loc(self) -> int:
+        return self.source.count("\n") + 1
+
+    def module(self, target: TargetArch = ARM32) -> Module:
+        """Compile (cached per target) the workload to IR."""
+        cached = self._module_cache.get(target.name)
+        if cached is None:
+            cached = compile_c(self.source, self.name, target=target)
+            self._module_cache[target.name] = cached
+        # Hand out clones so callers can transform freely.
+        return cached.clone()

@@ -1,0 +1,148 @@
+"""The chess game application of the paper's running example.
+
+This is the program behind Table 1 (the 5-6x smartphone/desktop gap across
+difficulty levels), Figure 3 (the compiler transformation example) and
+Table 3 (profiling + Equation 1 numbers).  It follows Figure 3(a)'s
+structure: an interactive ``runGame`` loop (scanf-bound, so machine
+specific), an offloadable ``getAITurn`` with a function-pointer evaluation
+table, and board state in UVA-destined globals.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+CHESS_SRC = r"""
+/* The paper's Figure 3 chess game, fleshed out into a runnable program. */
+#define BOARD 64
+
+typedef struct { char from, to; double score; } Move;
+typedef struct { char loc, owner, type; } Piece;
+typedef double (*EVALFUNC)(Piece);
+
+int maxDepth;
+Piece *board;
+unsigned int rng;
+
+unsigned int c_rand() {
+    rng = rng * 1103515245 + 12345;
+    return (rng >> 12) & 0x7FFF;
+}
+
+double evalPawn(Piece p)   { return 1.0 + (p.loc / 8) * 0.05; }
+double evalKnight(Piece p) { int c = p.loc % 8; return 3.0 + (c > 1 && c < 6 ? 0.2 : 0.0); }
+double evalBishop(Piece p) { return 3.1 + ((p.loc / 8 + p.loc % 8) % 2) * 0.1; }
+double evalRook(Piece p)   { return 5.0; }
+double evalQueen(Piece p)  { return 9.0; }
+double evalKing(Piece p)   { return 200.0 - (p.loc / 8) * 0.01; }
+double evalEmpty(Piece p)  { return 0.0; }
+
+EVALFUNC evals[7] = { evalEmpty, evalPawn, evalKnight, evalBishop,
+                      evalRook, evalQueen, evalKing };
+
+double positionScore(void) {
+    double s = 0.0;
+    int j;
+    for (j = 0; j < BOARD; j++) {
+        char pieceType = board[j].type;
+        EVALFUNC eval = evals[pieceType];
+        double v = eval(board[j]);
+        s += board[j].owner == 1 ? v : -v;
+    }
+    return s;
+}
+
+double searchMove(int depth, double alpha) {
+    int m;
+    double best = -100000.0;
+    if (depth == 0) return positionScore();
+    for (m = 0; m < 4; m++) {
+        int from = (int)(c_rand() % BOARD);
+        int to = (int)(c_rand() % BOARD);
+        char savedType; char savedOwner; double s;
+        if (!board[from].owner) continue;
+        savedType = board[to].type; savedOwner = board[to].owner;
+        board[to].type = board[from].type;
+        board[to].owner = board[from].owner;
+        board[from].owner = 0;
+        s = -searchMove(depth - 1, -alpha);
+        board[from].owner = board[to].owner;
+        board[to].type = savedType; board[to].owner = savedOwner;
+        if (s > best) best = s;
+        if (best > alpha) alpha = best;
+    }
+    return best;
+}
+
+Move getAITurn() {
+    Move mv;
+    int i;
+    mv.from = 0; mv.to = 0; mv.score = 0.0;
+    for (i = 1; i <= maxDepth; i++) {
+        mv.score += searchMove(i, -100000.0);
+        mv.from = (char)(c_rand() % BOARD);
+        mv.to = (char)(c_rand() % BOARD);
+        printf("%lf\n", mv.score);
+    }
+    return mv;
+}
+
+Move getPlayerTurn() {
+    Move mv;
+    int f, t;
+    scanf("%d %d", &f, &t);
+    mv.from = (char)f; mv.to = (char)t; mv.score = 0.0;
+    return mv;
+}
+
+void updateBoard(Move mv) {
+    int f = mv.from % BOARD;
+    int t = mv.to % BOARD;
+    if (board[f].owner) {
+        board[t].type = board[f].type;
+        board[t].owner = board[f].owner;
+        board[f].owner = 0;
+    }
+}
+
+void runGame(int turns) {
+    int turn;
+    for (turn = 0; turn < turns; turn++) {
+        Move mv;
+        mv = getPlayerTurn();
+        updateBoard(mv);
+        mv = getAITurn();
+        updateBoard(mv);
+        printf("turn %d score %lf\n", turn, mv.score);
+    }
+}
+
+int main() {
+    int j, turns;
+    scanf("%d %d", &maxDepth, &turns);
+    rng = 20151205;
+    board = (Piece*) malloc(sizeof(Piece) * BOARD);
+    for (j = 0; j < BOARD; j++) {
+        board[j].loc = (char)j;
+        board[j].owner = (char)(j < 16 ? 1 : (j >= 48 ? 2 : 0));
+        board[j].type = (char)(j < 16 || j >= 48 ? 1 + j % 6 : 0);
+    }
+    runGame(turns);
+    return 0;
+}
+"""
+
+
+def chess_stdin(depth: int, turns: int) -> bytes:
+    """stdin for a chess run: difficulty + per-turn player moves."""
+    moves = "\n".join(f"{(8 + 3 * t) % 64} {(24 + 5 * t) % 64}"
+                      for t in range(turns))
+    return f"{depth} {turns}\n{moves}\n".encode()
+
+
+CHESS = WorkloadSpec(
+    name="chess",
+    description="The paper's running-example chess game (Figure 3)",
+    source=CHESS_SRC,
+    profile_stdin=chess_stdin(depth=4, turns=1),
+    eval_stdin=chess_stdin(depth=5, turns=3),
+    paper=PaperRow(target="getAITurn"),
+)

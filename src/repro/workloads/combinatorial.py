@@ -1,0 +1,289 @@
+"""Combinatorial-optimization workloads: 175.vpr, 300.twolf, 429.mcf.
+
+175.vpr's target is a *loop inside try_place* (``try_place_while.cond``),
+with tiny traffic (0.8 MB) — a near-ideal offload.  300.twolf reads its
+cell file *during* the offloaded kernel, making it one of the remote-I/O
+dominated programs of Figure 7.  429.mcf ships its whole arc network, so it
+is bandwidth-sensitive like the compression pair.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_VPR_SRC = r"""
+/* 175.vpr counterpart: simulated-annealing FPGA placement.  The hot
+   annealing loop inside try_place is the offload target. */
+#define GRID 28
+#define BLOCKS 160
+#define NETS 220
+
+int *block_x;
+int *block_y;
+int *net_src;
+int *net_dst;
+unsigned int rng;
+int iters_per_temp;
+
+unsigned int vpr_rand() {
+    rng = rng * 1664525 + 1013904223;
+    return (rng >> 10) & 0xFFFF;
+}
+
+int net_cost(int n) {
+    int s = net_src[n], d = net_dst[n];
+    int dx = block_x[s] - block_x[d];
+    int dy = block_y[s] - block_y[d];
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+}
+
+int total_cost(void) {
+    int c = 0, n;
+    for (n = 0; n < NETS; n++) c += net_cost(n);
+    return c;
+}
+
+int try_place(void) {
+    int temp = 1000;
+    int cost = total_cost();
+    while (temp > 10) {
+        int i;
+        for (i = 0; i < iters_per_temp; i++) {
+            int b = (int)(vpr_rand() % BLOCKS);
+            int ox = block_x[b], oy = block_y[b];
+            int before = 0, after = 0, n;
+            for (n = 0; n < NETS; n++) {
+                if (net_src[n] == b || net_dst[n] == b)
+                    before += net_cost(n);
+            }
+            block_x[b] = (int)(vpr_rand() % GRID);
+            block_y[b] = (int)(vpr_rand() % GRID);
+            for (n = 0; n < NETS; n++) {
+                if (net_src[n] == b || net_dst[n] == b)
+                    after += net_cost(n);
+            }
+            if (after > before
+                && (int)(vpr_rand() % 1000) > temp) {
+                block_x[b] = ox;   /* reject uphill move */
+                block_y[b] = oy;
+            } else {
+                cost += after - before;
+            }
+        }
+        temp = temp * 9 / 10;
+    }
+    return cost;
+}
+
+int main() {
+    int i, final;
+    scanf("%d", &iters_per_temp);
+    block_x = (int*) malloc(BLOCKS * sizeof(int));
+    block_y = (int*) malloc(BLOCKS * sizeof(int));
+    net_src = (int*) malloc(NETS * sizeof(int));
+    net_dst = (int*) malloc(NETS * sizeof(int));
+    rng = 42;
+    for (i = 0; i < BLOCKS; i++) {
+        block_x[i] = (int)(vpr_rand() % GRID);
+        block_y[i] = (int)(vpr_rand() % GRID);
+    }
+    for (i = 0; i < NETS; i++) {
+        net_src[i] = (int)(vpr_rand() % BLOCKS);
+        net_dst[i] = (int)(vpr_rand() % BLOCKS);
+    }
+    final = try_place();
+    printf("final wirelength %d\n", final);
+    return 0;
+}
+"""
+
+VPR = WorkloadSpec(
+    name="175.vpr",
+    description="FPGA placement (simulated annealing)",
+    source=_VPR_SRC,
+    profile_stdin=b"1\n",
+    eval_stdin=b"3\n",
+    paper=PaperRow(loc="11.3k", exec_time_s=26.9,
+                   offloaded_functions="9 / 272",
+                   referenced_globals="672 / 760", fn_ptrs=3,
+                   target="try_place_while.cond", coverage_pct=99.07,
+                   invocations=1, traffic_mb=0.8),
+)
+
+_TWOLF_SRC = r"""
+/* 300.twolf counterpart: standard-cell placement.  The kernel reads the
+   cell description file chunk by chunk *inside* the offloaded region, so
+   every read becomes an expensive remote input operation. */
+#define CELLS 420
+
+int *cell_w;
+int *cell_pos;
+int ncells;
+unsigned int rng;
+int passes;
+
+unsigned int t_rand() {
+    rng = rng * 22695477 + 1;
+    return (rng >> 12) & 0x7FFF;
+}
+
+int local_cost(int i) {
+    int c = 0;
+    if (i > 0) {
+        int gap = cell_pos[i] - (cell_pos[i - 1] + cell_w[i - 1]);
+        c += gap < 0 ? -gap * 4 : gap / 2;
+    }
+    if (i < ncells - 1) {
+        int gap = cell_pos[i + 1] - (cell_pos[i] + cell_w[i]);
+        c += gap < 0 ? -gap * 4 : gap / 2;
+    }
+    return c;
+}
+
+int utemp(void *cellfile) {
+    char line[64];
+    int loaded = 0;
+    int pass, cost = 0;
+    /* stream cell widths from the design file (remote input);
+       each record line describes four cells */
+    while (loaded < ncells && fgets(line, 64, cellfile)) {
+        int v = atoi(line);
+        int k;
+        for (k = 0; k < 8 && loaded < ncells; k++) {
+            cell_w[loaded] = 2 + ((v + k * 7) % 23);
+            loaded++;
+        }
+    }
+    for (pass = 0; pass < passes; pass++) {
+        int i;
+        for (i = 0; i < 2600; i++) {
+            int a = (int)(t_rand() % ncells);
+            int b = (int)(t_rand() % ncells);
+            int before, after, tmp;
+            before = local_cost(a) + local_cost(b);
+            tmp = cell_pos[a]; cell_pos[a] = cell_pos[b];
+            cell_pos[b] = tmp;
+            after = local_cost(a) + local_cost(b);
+            if (after > before) {
+                tmp = cell_pos[a]; cell_pos[a] = cell_pos[b];
+                cell_pos[b] = tmp;
+            } else {
+                cost += after - before;
+            }
+        }
+    }
+    return cost;
+}
+
+int main() {
+    void *f;
+    int i, cost;
+    scanf("%d %d", &ncells, &passes);
+    cell_w = (int*) malloc(CELLS * sizeof(int));
+    cell_pos = (int*) malloc(CELLS * sizeof(int));
+    rng = 7;
+    for (i = 0; i < ncells; i++) cell_pos[i] = (int)(t_rand() % 4096);
+    f = fopen("cells.dat", "r");
+    if (!f) { printf("no cell file\n"); return 1; }
+    cost = utemp(f);
+    fclose(f);
+    printf("placement cost %d\n", cost);
+    return 0;
+}
+"""
+
+_CELL_FILE = "\n".join(str((i * 37) % 100) for i in range(600)).encode()
+
+TWOLF = WorkloadSpec(
+    name="300.twolf",
+    description="Standard-cell place/route (annealing + cell file reads)",
+    source=_TWOLF_SRC,
+    profile_stdin=b"200 1\n",
+    eval_stdin=b"400 2\n",
+    profile_files={"cells.dat": _CELL_FILE},
+    eval_files={"cells.dat": _CELL_FILE},
+    paper=PaperRow(loc="17.8k", exec_time_s=157.8,
+                   offloaded_functions="3 / 191",
+                   referenced_globals="566 / 838", fn_ptrs=0,
+                   target="utemp", coverage_pct=99.84,
+                   invocations=1, traffic_mb=3.3),
+    remote_input_heavy=True,
+)
+
+_MCF_SRC = r"""
+/* 429.mcf counterpart: vehicle scheduling as min-cost-flow; repeated
+   Bellman-Ford-flavoured relaxations over a large arc array (the whole
+   network crosses the wire -> bandwidth sensitive). */
+#define NODES_MAX 1600
+#define ARCS_MAX 4500
+
+int *arc_from;
+int *arc_to;
+int *arc_cost;
+long *dist;
+int nnodes;
+int narcs;
+int rounds;
+
+long global_opt(void) {
+    int r, a, i;
+    long total = 0;
+    for (i = 0; i < nnodes; i++) dist[i] = 1000000000;
+    dist[0] = 0;
+    for (r = 0; r < rounds; r++) {
+        int changed = 0;
+        for (a = 0; a < narcs; a++) {
+            long nd = dist[arc_from[a]] + arc_cost[a];
+            if (nd < dist[arc_to[a]]) {
+                dist[arc_to[a]] = nd;
+                changed = 1;
+            }
+        }
+        if (!changed) {
+            /* re-seed with a perturbed source to keep scheduling */
+            dist[r % nnodes] = r;
+        }
+    }
+    for (i = 0; i < nnodes; i++) {
+        if (dist[i] < 1000000000) total += dist[i];
+    }
+    return total;
+}
+
+int main() {
+    int i;
+    long answer;
+    unsigned int rng = 99;
+    scanf("%d %d %d", &nnodes, &narcs, &rounds);
+    arc_from = (int*) malloc(ARCS_MAX * sizeof(int));
+    arc_to = (int*) malloc(ARCS_MAX * sizeof(int));
+    arc_cost = (int*) malloc(ARCS_MAX * sizeof(int));
+    dist = (long*) malloc(NODES_MAX * sizeof(long));
+    for (i = 0; i < narcs; i++) {
+        /* multiply-shift scaling avoids per-arc divisions */
+        rng = rng * 1103515245 + 12345;
+        arc_from[i] = (int)((((rng >> 16) & 0xFFFF) * (unsigned)nnodes)
+                            >> 16);
+        arc_to[i] = (int)((((rng >> 4) & 0xFFFF) * (unsigned)nnodes)
+                          >> 16);
+        arc_cost[i] = 1 + (int)(rng & 63);
+    }
+    answer = global_opt();
+    printf("schedule cost %ld\n", answer);
+    return 0;
+}
+"""
+
+MCF = WorkloadSpec(
+    name="429.mcf",
+    description="Vehicle scheduling (min-cost-flow relaxation)",
+    source=_MCF_SRC,
+    profile_stdin=b"1000 3600 8\n",
+    eval_stdin=b"1500 4200 12\n",
+    paper=PaperRow(loc="1.6k", exec_time_s=104.8,
+                   offloaded_functions="19 / 24",
+                   referenced_globals="39 / 43", fn_ptrs=0,
+                   target="global_opt", coverage_pct=99.55,
+                   invocations=1, traffic_mb=47.9),
+    comm_heavy=True,
+)

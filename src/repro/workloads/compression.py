@@ -1,0 +1,241 @@
+"""Compression workloads: 164.gzip and 401.bzip2.
+
+Both are the paper's canonical *communication-heavy* programs: the offload
+target (``spec_compress``) touches the whole input and output buffers, so
+traffic per invocation is large relative to compute (151.5 MB and 134.3 MB
+in Table 4).  On the slow network the dynamic estimator declines to offload
+them (the ``*`` entries of Figure 6), and 164.gzip is the one program whose
+battery consumption *rises* under offloading.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_GZIP_SRC = r"""
+/* 164.gzip counterpart: greedy LZ77 with a small hash chain. */
+#define HASH_SIZE 4096
+#define MIN_MATCH 3
+#define MAX_MATCH 32
+
+unsigned char *inbuf;
+unsigned char *outbuf;
+int *hash_head;
+int *posmeta;      /* per-position dictionary metadata (16 ints/byte) */
+int input_size;
+unsigned int gen_state;
+
+unsigned int next_rand() {
+    gen_state = gen_state * 1103515245 + 12345;
+    return (gen_state >> 16) & 32767;
+}
+
+void gen_input(int n) {
+    int *words = (int*) inbuf;
+    int i;
+    for (i = 0; i < n / 4; i++) {
+        unsigned int r = next_rand();
+        /* runs of repeated bytes with occasional noise */
+        words[i] = (int)(((r % 37) * 0x01010101u) ^ ((r >> 9) & 0xFF));
+    }
+}
+
+int hash_of(int pos) {
+    int h = (inbuf[pos] << 5) ^ (inbuf[pos + 1] << 3) ^ inbuf[pos + 2];
+    return h & (HASH_SIZE - 1);
+}
+
+int spec_compress(int n) {
+    int pos = 0;
+    int out = 0;
+    int i;
+    for (i = 0; i < HASH_SIZE; i++) hash_head[i] = -1;
+    while (pos < n - MIN_MATCH) {
+        int h = hash_of(pos);
+        int cand = hash_head[h];
+        int best_len = 0;
+        int *meta = posmeta + pos * 16;
+        if (cand >= 0 && pos - cand < 8192) {
+            int len = 0;
+            while (len < MAX_MATCH && pos + len < n
+                   && inbuf[cand + len] == inbuf[pos + len]) {
+                len++;
+            }
+            if (len >= MIN_MATCH) best_len = len;
+        }
+        hash_head[h] = pos;
+        meta[0] = cand;
+        meta[1] = best_len;
+        meta[2] = h;
+        meta[3] = out;
+        if (best_len >= MIN_MATCH) {
+            outbuf[out] = 255;
+            outbuf[out + 1] = (unsigned char)(best_len);
+            outbuf[out + 2] = (unsigned char)((pos - cand) & 255);
+            outbuf[out + 3] = (unsigned char)(((pos - cand) >> 8) & 255);
+            out += 4;
+            pos += best_len;
+        } else {
+            outbuf[out] = inbuf[pos];
+            out++;
+            pos++;
+        }
+    }
+    while (pos < n) {
+        outbuf[out] = inbuf[pos];
+        out++;
+        pos++;
+    }
+    return out;
+}
+
+int checksum(unsigned char *buf, int n) {
+    int s1 = 1, s2 = 0, i;
+    for (i = 0; i < n; i += 2) {
+        s1 = s1 + buf[i];
+        if (s1 >= 65521) s1 -= 65521;
+        s2 = s2 + s1;
+        if (s2 >= 65521) s2 -= 65521;
+    }
+    return (s2 << 16) | s1;
+}
+
+int main() {
+    int n, out_size;
+    scanf("%d", &n);
+    input_size = n;
+    gen_state = 12345;
+    inbuf = (unsigned char*) malloc(n + MAX_MATCH);
+    outbuf = (unsigned char*) malloc(n + n / 2 + 64);
+    hash_head = (int*) malloc(HASH_SIZE * sizeof(int));
+    posmeta = (int*) malloc(n * 16 * sizeof(int));
+    gen_input(n);
+    out_size = spec_compress(n);
+    printf("in %d out %d ratio %d%%\n", n, out_size,
+           out_size * 100 / n);
+    printf("crc %d\n", checksum(outbuf, out_size));
+    return 0;
+}
+"""
+
+GZIP = WorkloadSpec(
+    name="164.gzip",
+    description="Compression (greedy LZ77, hash-chain match search)",
+    source=_GZIP_SRC,
+    profile_stdin=b"8192\n",
+    eval_stdin=b"16384\n",
+    paper=PaperRow(loc="5.5k", exec_time_s=15.3,
+                   offloaded_functions="20 / 89",
+                   referenced_globals="141 / 241", fn_ptrs=9,
+                   target="spec_compress", coverage_pct=98.90,
+                   invocations=1, traffic_mb=151.5),
+    expect_offload_slow=False,
+    comm_heavy=True,
+)
+
+_BZIP2_SRC = r"""
+/* 401.bzip2 counterpart: Burrows-Wheeler-flavoured block transform:
+   bucket sort on 2-byte prefixes + move-to-front + RLE. */
+#define BLOCK 8192
+
+unsigned char *inbuf;
+unsigned char *workbuf;
+unsigned char *outbuf;
+int *bucket;
+unsigned int gen_state;
+
+unsigned int next_rand() {
+    gen_state = gen_state * 69069 + 1;
+    return (gen_state >> 16) & 32767;
+}
+
+void gen_input(int n) {
+    int *words = (int*) inbuf;
+    int i;
+    for (i = 0; i < n / 4; i++) {
+        unsigned int r = next_rand();
+        int c = 'a' + (i / 2) % 9;
+        words[i] = (int)((c * 0x01010101u)
+                         ^ (r % 16 == 0 ? (r & 0x07070707) : 0));
+    }
+}
+
+void mtf_block(unsigned char *src, unsigned char *dst, int n) {
+    unsigned char order[256];
+    int i, j;
+    for (i = 0; i < 256; i++) order[i] = (unsigned char)i;
+    for (i = 0; i < n; i++) {
+        unsigned char c = src[i];
+        j = 0;
+        while (order[j] != c) j++;
+        dst[i] = (unsigned char)j;
+        while (j > 0) {
+            order[j] = order[j - 1];
+            j--;
+        }
+        order[0] = c;
+    }
+}
+
+int spec_compress(int n) {
+    int out = 0;
+    int start;
+    for (start = 0; start < n; start += BLOCK) {
+        int len = n - start;
+        int i;
+        if (len > BLOCK) len = BLOCK;
+        /* bucket sort rotation keys (a stand-in for the BWT sort);
+           the table covers 18-bit keys, like bzip2's quadrant arrays */
+        memset(bucket, 0, 262144 * sizeof(int));
+        for (i = 0; i < len - 1; i++) {
+            int key = ((inbuf[start + i] << 8) | inbuf[start + i + 1])
+                      << 2;
+            bucket[key + (i & 3)]++;
+        }
+        mtf_block(inbuf + start, workbuf, len);
+        /* RLE of the MTF output */
+        i = 0;
+        while (i < len) {
+            int run = 1;
+            while (i + run < len && workbuf[i + run] == workbuf[i]
+                   && run < 255) {
+                run++;
+            }
+            outbuf[out] = workbuf[i];
+            outbuf[out + 1] = (unsigned char)run;
+            out += 2;
+            i += run;
+        }
+    }
+    return out;
+}
+
+int main() {
+    int n, out_size, i, acc;
+    scanf("%d", &n);
+    gen_state = 777;
+    inbuf = (unsigned char*) malloc(n + 2);
+    workbuf = (unsigned char*) malloc(BLOCK + 2);
+    outbuf = (unsigned char*) malloc(2 * n + 16);
+    bucket = (int*) malloc(262144 * sizeof(int));
+    gen_input(n);
+    out_size = spec_compress(n);
+    acc = 0;
+    for (i = 0; i < out_size; i++) acc = (acc * 31 + outbuf[i]) % 1000003;
+    printf("blocksort %d -> %d hash %d\n", n, out_size, acc);
+    return 0;
+}
+"""
+
+BZIP2 = WorkloadSpec(
+    name="401.bzip2",
+    description="Compression (block transform + MTF + RLE)",
+    source=_BZIP2_SRC,
+    profile_stdin=b"4096\n",
+    eval_stdin=b"8192\n",
+    paper=PaperRow(loc="5.7k", exec_time_s=27.0,
+                   offloaded_functions="58 / 100",
+                   referenced_globals="95 / 120", fn_ptrs=24,
+                   target="spec_compress", coverage_pct=98.79,
+                   invocations=1, traffic_mb=134.3),
+    expect_offload_slow=False,
+    comm_heavy=True,
+)

@@ -1,0 +1,250 @@
+"""Game AI workloads: 445.gobmk and 458.sjeng.
+
+Both are the paper's *function-pointer-heavy* programs: gobmk dispatches
+GTP commands through a ``commands`` table and sjeng evaluates pieces
+through ``evalRoutines``, so the server pays a mapping lookup on a huge
+number of indirect calls (Figure 7).  gobmk additionally reads previous
+play records from files inside the offloaded region (remote input), which
+keeps its radio busy for the whole offload (Figure 8(b)/(c)).  sjeng's
+``think`` runs once per user move — three invocations, each shipping the
+game state, and still profitable even on the slow network.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_GOBMK_SRC = r"""
+/* 445.gobmk counterpart: GTP command loop over a go board.  Commands are
+   dispatched through a function-pointer table and replay records are read
+   from a file inside the offloaded gtp_main_loop. */
+#define BOARD 13
+#define CELLS 169
+
+int *board;      /* 0 empty, 1 black, 2 white */
+int *influence;
+unsigned int rng;
+
+typedef int (*GTPCMD)(int);
+
+unsigned int g_rand() {
+    rng = rng * 1664525 + 1013904223;
+    return (rng >> 9) & 0x3FFF;
+}
+
+int influence_at(int pos) {
+    int x = pos % BOARD, y = pos / BOARD;
+    int i, acc = 0;
+    for (i = 0; i < CELLS; i++) {
+        int xi = i % BOARD, yi = i / BOARD;
+        int dx = x - xi, dy = y - yi;
+        int d2 = dx * dx + dy * dy;
+        if (board[i] == 1) acc += 64 / (d2 + 1);
+        if (board[i] == 2) acc -= 64 / (d2 + 1);
+    }
+    return acc;
+}
+
+int cmd_genmove(int color) {
+    int best = -1, best_score = -100000;
+    int tries, pos;
+    for (tries = 0; tries < 6; tries++) {
+        pos = (int)(g_rand() % CELLS);
+        if (board[pos] == 0) {
+            int inf = influence_at(pos);
+            int score = color == 1 ? inf : -inf;
+            if (score > best_score) { best_score = score; best = pos; }
+        }
+    }
+    if (best >= 0) board[best] = color;
+    return best;
+}
+
+int cmd_estimate_score(int unused) {
+    int i, score = 0;
+    for (i = 0; i < CELLS; i += 16) influence[i] = influence_at(i);
+    for (i = 0; i < CELLS; i += 16) score += influence[i] > 0 ? 1 : -1;
+    return score;
+}
+
+int cmd_play_record(int pos) {
+    if (pos >= 0 && pos < CELLS && board[pos] == 0) {
+        board[pos] = 1 + (pos % 2);
+        return pos;
+    }
+    return -1;
+}
+
+GTPCMD commands[3] = { cmd_genmove, cmd_estimate_score, cmd_play_record };
+
+int gtp_main_loop(void *records) {
+    char line[96];
+    int processed = 0;
+    int final_score = 0;
+    while (fgets(line, 96, records)) {
+        int op = atoi(line);
+        int arg = op / 10;
+        GTPCMD cmd = commands[op % 3];
+        final_score = cmd(arg % CELLS + 1);
+        processed++;
+        if (processed % 8 == 0)
+            printf("cmd %d result %d\n", processed, final_score);
+    }
+    return final_score;
+}
+
+int main() {
+    void *f;
+    int i, score;
+    board = (int*) malloc(CELLS * sizeof(int));
+    influence = (int*) malloc(CELLS * sizeof(int));
+    rng = 2025;
+    for (i = 0; i < CELLS; i++) board[i] = 0;
+    for (i = 0; i < 40; i++) board[(int)(g_rand() % CELLS)] = 1 + (i % 2);
+    f = fopen("games.rec", "r");
+    if (!f) { printf("no record file\n"); return 1; }
+    score = gtp_main_loop(f);
+    fclose(f);
+    printf("final score %d\n", score);
+    return 0;
+}
+"""
+
+
+def _gobmk_records(n: int) -> bytes:
+    lines = []
+    for i in range(n):
+        op = (i * 7 + 3) % 30
+        kind = 1 if i % 9 == 4 else (i % 2) * 2   # mostly genmove/play
+        lines.append(str(op * 10 + kind))
+    return ("\n".join(lines) + "\n").encode()
+
+
+GOBMK = WorkloadSpec(
+    name="445.gobmk",
+    description="Go game engine (GTP command loop, influence function)",
+    source=_GOBMK_SRC,
+    profile_stdin=b"",
+    eval_stdin=b"",
+    profile_files={"games.rec": _gobmk_records(14)},
+    eval_files={"games.rec": _gobmk_records(26)},
+    paper=PaperRow(loc="156.3k", exec_time_s=361.8,
+                   offloaded_functions="6 / 2679",
+                   referenced_globals="21844 / 22090", fn_ptrs=77,
+                   target="gtp_main_loop", coverage_pct=99.96,
+                   invocations=1, traffic_mb=25.7),
+    remote_input_heavy=True,
+    fn_ptr_heavy=True,
+)
+
+_SJENG_SRC = r"""
+/* 458.sjeng counterpart: chess engine.  The user plays a move, think()
+   searches; piece evaluation dispatches through evalRoutines. */
+#define SQUARES 64
+#define MAXPLY 3
+
+int *boardstate;     /* piece codes 0..6, sign via owner array */
+int *owner;          /* 0 none, 1 us, 2 them */
+int *history;        /* search history heuristic table */
+unsigned int rng;
+int nodes_budget;
+
+typedef int (*EVALFN)(int);
+
+unsigned int s_rand() {
+    rng = rng * 69069 + 5;
+    return (rng >> 8) & 0x7FFF;
+}
+
+int eval_pawn(int sq)   { return 100 + (sq / 8) * 4; }
+int eval_knight(int sq) { int c = sq % 8; return 300 + (c > 1 && c < 6 ? 12 : 0); }
+int eval_bishop(int sq) { return 310 + ((sq / 8 + sq % 8) % 2) * 6; }
+int eval_rook(int sq)   { return 500 + (sq / 8 == 6 ? 20 : 0); }
+int eval_queen(int sq)  { return 900; }
+int eval_king(int sq)   { return 10000 - (sq / 8) * 2; }
+
+EVALFN evalRoutines[6] = { eval_pawn, eval_knight, eval_bishop,
+                           eval_rook, eval_queen, eval_king };
+
+int evaluate(void) {
+    int sq, score = 0;
+    for (sq = 0; sq < SQUARES; sq++) {
+        if (owner[sq]) {
+            EVALFN fn = evalRoutines[boardstate[sq] % 6];
+            int v = fn(sq);
+            score += owner[sq] == 1 ? v : -v;
+        }
+    }
+    return score;
+}
+
+int search(int ply, int alpha, int beta) {
+    int moves, best;
+    if (ply == 0) return evaluate();
+    best = -999999;
+    for (moves = 0; moves < 5; moves++) {
+        int from = (int)(s_rand() % SQUARES);
+        int to = (int)(s_rand() % SQUARES);
+        int captured, was_owner, score;
+        if (!owner[from]) continue;
+        captured = boardstate[to]; was_owner = owner[to];
+        boardstate[to] = boardstate[from]; owner[to] = owner[from];
+        owner[from] = 0;
+        score = -search(ply - 1, -beta, -alpha);
+        history[(from * SQUARES + to) % 4096] += ply * ply;
+        owner[from] = owner[to];
+        boardstate[to] = captured; owner[to] = was_owner;
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int think(void) {
+    int iter, best = 0;
+    for (iter = 0; iter < nodes_budget; iter++) {
+        best = search(MAXPLY, -1000000, 1000000);
+    }
+    printf("bestline score %d\n", best);
+    return best;
+}
+
+int main() {
+    int i, turn, nturns;
+    scanf("%d %d", &nturns, &nodes_budget);
+    boardstate = (int*) malloc(SQUARES * sizeof(int));
+    owner = (int*) malloc(SQUARES * sizeof(int));
+    history = (int*) malloc(4096 * sizeof(int));
+    rng = 4242;
+    for (i = 0; i < SQUARES; i++) {
+        boardstate[i] = i & 3;
+        owner[i] = i < 16 ? 1 : (i >= 48 ? 2 : 0);
+    }
+    memset(history, 0, 4096 * sizeof(int));
+    for (turn = 0; turn < nturns; turn++) {
+        int from, to, score;
+        scanf("%d %d", &from, &to);
+        if (owner[from % SQUARES]) {
+            boardstate[to % SQUARES] = boardstate[from % SQUARES];
+            owner[to % SQUARES] = owner[from % SQUARES];
+            owner[from % SQUARES] = 0;
+        }
+        score = think();
+        printf("turn %d score %d\n", turn, score);
+    }
+    return 0;
+}
+"""
+
+SJENG = WorkloadSpec(
+    name="458.sjeng",
+    description="Chess engine (alpha-beta search, eval fn-ptr table)",
+    source=_SJENG_SRC,
+    profile_stdin=b"1 8\n8 16\n",
+    eval_stdin=b"3 12\n8 16\n12 20\n20 28\n",
+    paper=PaperRow(loc="10.5k", exec_time_s=950.8,
+                   offloaded_functions="91 / 144",
+                   referenced_globals="495 / 624", fn_ptrs=1,
+                   target="think", coverage_pct=99.95,
+                   invocations=3, traffic_mb=240.2),
+    fn_ptr_heavy=True,
+)

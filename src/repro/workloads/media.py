@@ -1,0 +1,321 @@
+"""Media workloads: 177.mesa, 464.h264ref, 482.sphinx3.
+
+177.mesa renders with per-material shading dispatched through function
+pointers (Table 4 counts 1169 fn-ptr uses).  464.h264ref encodes a video it
+reads *during* the offloaded region (remote input) and dispatches SAD
+kernels through pointers.  482.sphinx3's target is the utterance loop in
+main, streaming feature frames from a file.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_MESA_SRC = r"""
+/* 177.mesa counterpart: software rasterizer with per-material shader
+   function pointers. */
+#define W 96
+#define H 72
+#define NTRI 90
+
+typedef int (*SHADER)(int, int, int);
+
+int *framebuf;
+int *tri;         /* NTRI x 7: x0 y0 x1 y1 x2 y2 material */
+unsigned int rng;
+
+unsigned int m_rand() {
+    rng = rng * 1103515245 + 12345;
+    return (rng >> 11) & 0x7FFF;
+}
+
+int shade_flat(int x, int y, int m)   { return (m * 37) & 255; }
+int shade_gouraud(int x, int y, int m) {
+    return ((x * 3 + y * 5 + m * 11) / 2) & 255;
+}
+int shade_textured(int x, int y, int m) {
+    int u = (x * 13 + m) & 15;
+    int v = (y * 7 + m) & 15;
+    return ((u * v) ^ (u + v + m)) & 255;
+}
+int shade_specular(int x, int y, int m) {
+    int d = (x - 48) * (x - 48) + (y - 36) * (y - 36);
+    return (255 * 48) / (d / 8 + 48 + m % 7);
+}
+
+SHADER shaders[4] = { shade_flat, shade_gouraud, shade_textured,
+                      shade_specular };
+
+int edge(int x0, int y0, int x1, int y1, int x, int y) {
+    return (x1 - x0) * (y - y0) - (y1 - y0) * (x - x0);
+}
+
+void Render(void) {
+    int t, x, y;
+    for (t = 0; t < NTRI; t++) {
+        int x0 = tri[t*7], y0 = tri[t*7+1];
+        int x1 = tri[t*7+2], y1 = tri[t*7+3];
+        int x2 = tri[t*7+4], y2 = tri[t*7+5];
+        int mat = tri[t*7+6];
+        SHADER shade = shaders[mat % 4];
+        int minx = x0 < x1 ? x0 : x1; int maxx = x0 > x1 ? x0 : x1;
+        int miny = y0 < y1 ? y0 : y1; int maxy = y0 > y1 ? y0 : y1;
+        if (x2 < minx) minx = x2;
+        if (x2 > maxx) maxx = x2;
+        if (y2 < miny) miny = y2;
+        if (y2 > maxy) maxy = y2;
+        for (y = miny; y <= maxy; y++) {
+            for (x = minx; x <= maxx; x++) {
+                int e0 = edge(x0, y0, x1, y1, x, y);
+                int e1 = edge(x1, y1, x2, y2, x, y);
+                int e2 = edge(x2, y2, x0, y0, x, y);
+                if ((e0 >= 0 && e1 >= 0 && e2 >= 0)
+                    || (e0 <= 0 && e1 <= 0 && e2 <= 0)) {
+                    framebuf[y * W + x] = shade(x, y, mat);
+                }
+            }
+        }
+    }
+}
+
+int main() {
+    int i, frames, f, acc;
+    scanf("%d", &frames);
+    framebuf = (int*) malloc(W * H * sizeof(int));
+    tri = (int*) malloc(NTRI * 7 * sizeof(int));
+    rng = 321;
+    for (i = 0; i < NTRI; i++) {
+        int cx = (int)(m_rand() % W);
+        int cy = (int)(m_rand() % H);
+        int ex = cx + 2 + (int)(m_rand() % 12);
+        int ey = cy + 1 + (int)(m_rand() % 6);
+        int fx2 = cx + 1 + (int)(m_rand() % 6);
+        int fy2 = cy + 2 + (int)(m_rand() % 12);
+        tri[i*7]   = cx;
+        tri[i*7+1] = cy;
+        tri[i*7+2] = ex < W - 1 ? ex : W - 1;
+        tri[i*7+3] = ey < H - 1 ? ey : H - 1;
+        tri[i*7+4] = fx2 < W - 1 ? fx2 : W - 1;
+        tri[i*7+5] = fy2 < H - 1 ? fy2 : H - 1;
+        tri[i*7+6] = (int)(m_rand() % 4);
+    }
+    memset(framebuf, 0, W * H * sizeof(int));
+    for (f = 0; f < frames; f++) {
+        Render();
+    }
+    acc = 0;
+    for (i = 0; i < W * H; i++) acc = (acc + framebuf[i]) % 1000003;
+    printf("rendered %d frames hash %d\n", frames, acc);
+    return 0;
+}
+"""
+
+MESA = WorkloadSpec(
+    name="177.mesa",
+    description="3-D graphics (software rasterizer, shader fn-ptrs)",
+    source=_MESA_SRC,
+    profile_stdin=b"1\n",
+    eval_stdin=b"2\n",
+    paper=PaperRow(loc="42.2k", exec_time_s=120.2,
+                   offloaded_functions="11 / 1105",
+                   referenced_globals="608 / 627", fn_ptrs=1169,
+                   target="Render", coverage_pct=99.02,
+                   invocations=1, traffic_mb=20.3),
+    fn_ptr_heavy=True,
+)
+
+_H264_SRC = r"""
+/* 464.h264ref counterpart: motion-estimation encoder.  Frames stream in
+   from a file inside encode_sequence (remote input); SAD kernels are
+   dispatched through a function-pointer table. */
+#define W 64
+#define H 48
+#define BLK 8
+
+typedef int (*SADFN)(unsigned char*, unsigned char*, int, int);
+
+unsigned char *cur;
+unsigned char *ref;
+int *mvx; int *mvy;
+int nframes;
+
+int sad_full(unsigned char *a, unsigned char *b, int ox, int oy) {
+    int x, y, s = 0;
+    for (y = 0; y < BLK; y++) {
+        for (x = 0; x < BLK; x++) {
+            int ia = a[y * W + x];
+            int ib = b[(y + oy) * W + x + ox];
+            s += ia > ib ? ia - ib : ib - ia;
+        }
+    }
+    return s;
+}
+
+int sad_sub2(unsigned char *a, unsigned char *b, int ox, int oy) {
+    int x, y, s = 0;
+    for (y = 0; y < BLK; y += 2) {
+        for (x = 0; x < BLK; x += 2) {
+            int ia = a[y * W + x];
+            int ib = b[(y + oy) * W + x + ox];
+            s += ia > ib ? ia - ib : ib - ia;
+        }
+    }
+    return s * 4;
+}
+
+SADFN sad_table[2] = { sad_full, sad_sub2 };
+
+int encode_sequence(void *video) {
+    int f, total_bits = 0;
+    for (f = 0; f < nframes; f++) {
+        int by, bx;
+        /* stream the next frame from the mobile device's file */
+        int got = (int) fread(cur, 1, W * H, video);
+        if (got < W * H) break;
+        for (by = 0; by + BLK <= H - 2; by += BLK) {
+            for (bx = 0; bx + BLK <= W - 2; bx += BLK) {
+                int best = 1 << 30;
+                int dx, dy, bestdx = 0, bestdy = 0;
+                unsigned char *blk = cur + by * W + bx;
+                unsigned char *rblk = ref + by * W + bx;
+                for (dy = 0; dy <= 2; dy++) {
+                    for (dx = 0; dx <= 2; dx++) {
+                        SADFN sad = sad_table[(dx + dy) & 1];
+                        int s = sad(blk, rblk, dx, dy);
+                        if (s < best) { best = s; bestdx = dx; bestdy = dy; }
+                    }
+                }
+                mvx[(by / BLK) * (W / BLK) + bx / BLK] = bestdx;
+                mvy[(by / BLK) * (W / BLK) + bx / BLK] = bestdy;
+                total_bits += best / 4 + 6;
+            }
+        }
+        memcpy(ref, cur, W * H);
+        printf("frame %d bits %d\n", f, total_bits);
+    }
+    return total_bits;
+}
+
+int main() {
+    void *v;
+    int i, bits;
+    scanf("%d", &nframes);
+    cur = (unsigned char*) malloc(W * H + 4 * W);
+    ref = (unsigned char*) malloc(W * H + 4 * W);
+    mvx = (int*) malloc((W / BLK) * (H / BLK) * sizeof(int));
+    mvy = (int*) malloc((W / BLK) * (H / BLK) * sizeof(int));
+    for (i = 0; i < W * H; i++) ref[i] = (unsigned char)(i % 200);
+    v = fopen("video.yuv", "r");
+    if (!v) { printf("no video\n"); return 1; }
+    bits = encode_sequence(v);
+    fclose(v);
+    printf("total bits %d\n", bits);
+    return 0;
+}
+"""
+
+
+def _video_frames(n: int) -> bytes:
+    w, h = 64, 48
+    out = bytearray()
+    for f in range(n):
+        for i in range(w * h):
+            out.append((i * 3 + f * 17 + (i // w) * 5) % 251)
+    return bytes(out)
+
+
+H264REF = WorkloadSpec(
+    name="464.h264ref",
+    description="Video encoder (motion estimation, SAD fn-ptr kernels)",
+    source=_H264_SRC,
+    profile_stdin=b"1\n",
+    eval_stdin=b"2\n",
+    profile_files={"video.yuv": _video_frames(1)},
+    eval_files={"video.yuv": _video_frames(2)},
+    paper=PaperRow(loc="59.5k", exec_time_s=78.2,
+                   offloaded_functions="48 / 1333",
+                   referenced_globals="2012 / 2822", fn_ptrs=457,
+                   target="encode_sequence", coverage_pct=99.79,
+                   invocations=1, traffic_mb=17.1),
+    remote_input_heavy=True,
+    fn_ptr_heavy=True,
+)
+
+_SPHINX_SRC = r"""
+/* 482.sphinx3 counterpart: GMM scoring of streamed feature frames; the
+   offload target is the utterance loop in main. */
+#define DIMS 12
+#define SENONES 32
+
+double *means;     /* SENONES x DIMS */
+double *variances;
+double *frame;
+int nframes;
+
+double score_senone(int s) {
+    double acc = 0.0;
+    int d;
+    for (d = 0; d < DIMS; d++) {
+        double diff = frame[d] - means[s * DIMS + d];
+        acc += diff * diff * variances[s * DIMS + d];
+    }
+    return -acc;
+}
+
+int main() {
+    void *feat;
+    int f, i, s;
+    int hits = 0;
+    unsigned char raw[DIMS];
+    scanf("%d", &nframes);
+    means = (double*) malloc(SENONES * DIMS * sizeof(double));
+    variances = (double*) malloc(SENONES * DIMS * sizeof(double));
+    frame = (double*) malloc(DIMS * sizeof(double));
+    for (i = 0; i < SENONES * DIMS; i++) {
+        means[i] = (double)((i * 2654435761u >> 18) % 256) / 16.0;
+        variances[i] = 0.5 + (double)(i % 13) / 13.0;
+    }
+    feat = fopen("feat.bin", "r");
+    if (!feat) { printf("no features\n"); return 1; }
+    for (f = 0; f < nframes; f++) {
+        double best = -1.0e30;
+        int best_s = -1;
+        int got = (int) fread(raw, 1, DIMS, feat);
+        if (got < DIMS) break;
+        for (i = 0; i < DIMS; i++) frame[i] = (double)raw[i] / 16.0;
+        for (s = 0; s < SENONES; s++) {
+            double sc = score_senone(s);
+            if (sc > best) { best = sc; best_s = s; }
+        }
+        if (best_s % 3 == 0) hits++;
+        if (f % 25 == 0) printf("frame %d senone %d\n", f, best_s);
+    }
+    fclose(feat);
+    printf("recognized %d keyframes\n", hits);
+    return 0;
+}
+"""
+
+
+def _feat_file(n: int) -> bytes:
+    dims = 12
+    out = bytearray()
+    for f in range(n):
+        for d in range(dims):
+            out.append((f * 31 + d * 7 + (f * d) % 5) % 256)
+    return bytes(out)
+
+
+SPHINX3 = WorkloadSpec(
+    name="482.sphinx3",
+    description="Speech recognition (GMM senone scoring over features)",
+    source=_SPHINX_SRC,
+    profile_stdin=b"40\n",
+    eval_stdin=b"80\n",
+    profile_files={"feat.bin": _feat_file(40)},
+    eval_files={"feat.bin": _feat_file(80)},
+    paper=PaperRow(loc="13.1k", exec_time_s=375.2,
+                   offloaded_functions="124 / 370",
+                   referenced_globals="1265 / 1329", fn_ptrs=14,
+                   target="main_for.cond", coverage_pct=98.39,
+                   invocations=1, traffic_mb=34.0),
+    remote_input_heavy=True,
+)

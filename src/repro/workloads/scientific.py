@@ -1,0 +1,393 @@
+"""Scientific-computing workloads: 179.art, 183.equake, 188.ammp,
+433.milc and 470.lbm.
+
+art / equake / ammp / milc are the paper's near-ideal offloading class:
+long floating-point kernels over modest state.  470.lbm is the extreme
+opposite on the communication axis — its whole lattice crosses the network
+(643.6 MB per invocation in Table 4), so the slow network hurts badly.
+183.equake and 470.lbm also exercise *loop* offloading: their targets are
+``main_for.cond`` loops, not functions.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_ART_SRC = r"""
+/* 179.art counterpart: adaptive-resonance-flavoured image recognition:
+   match input patches against learned f64 prototype vectors. */
+#define FEATS 32
+
+double *prototypes;   /* numf2s x FEATS */
+double *image;        /* patches x FEATS */
+int numf2s;
+int patches;
+int winners[512];
+
+double match_score(double *proto, double *vec) {
+    double num = 0.0, den = 0.0;
+    int i;
+    for (i = 0; i < FEATS; i++) {
+        double m = proto[i] < vec[i] ? proto[i] : vec[i];
+        num += m;
+        den += proto[i];
+    }
+    return num / (den + 0.8);
+}
+
+int scan_recognize(void) {
+    int p, f, hits = 0;
+    for (p = 0; p < patches; p++) {
+        double best = -1.0;
+        int best_f = -1;
+        for (f = 0; f < numf2s; f++) {
+            double s = match_score(prototypes + f * FEATS,
+                                   image + p * FEATS);
+            if (s > best) { best = s; best_f = f; }
+        }
+        winners[p % 512] = best_f;
+        if (best > 0.55) {
+            int i;
+            double *proto = prototypes + best_f * FEATS;
+            for (i = 0; i < FEATS; i++) {
+                double m = proto[i] < image[p * FEATS + i]
+                         ? proto[i] : image[p * FEATS + i];
+                proto[i] = 0.9 * proto[i] + 0.1 * m;
+            }
+            hits++;
+        }
+    }
+    return hits;
+}
+
+int main() {
+    int i, hits;
+    scanf("%d %d", &numf2s, &patches);
+    prototypes = (double*) malloc(numf2s * FEATS * sizeof(double));
+    image = (double*) malloc(patches * FEATS * sizeof(double));
+    for (i = 0; i < numf2s * FEATS; i++)
+        prototypes[i] = 0.3 + 0.4 * ((i * 2654435761u >> 16) % 100) / 100.0;
+    for (i = 0; i < patches * FEATS; i++)
+        image[i] = ((i * 40503u >> 8) % 1000) / 1000.0;
+    hits = scan_recognize();
+    printf("recognized %d of %d patches\n", hits, patches);
+    return 0;
+}
+"""
+
+ART = WorkloadSpec(
+    name="179.art",
+    description="Image recognition (adaptive resonance matching)",
+    source=_ART_SRC,
+    profile_stdin=b"8 40\n",
+    eval_stdin=b"10 70\n",
+    paper=PaperRow(loc="5.7k", exec_time_s=325.5,
+                   offloaded_functions="7 / 26",
+                   referenced_globals="52 / 79", fn_ptrs=0,
+                   target="scan_recognize", coverage_pct=85.44,
+                   invocations=1, traffic_mb=16.4),
+)
+
+_EQUAKE_SRC = r"""
+/* 183.equake counterpart: seismic wave propagation; explicit
+   time-stepping over an unstructured-ish grid.  The offload target is the
+   *time loop in main* (the paper's main_for.cond548). */
+#define NODES 250
+
+double *disp;      /* displacement */
+double *vel;
+double *acc;
+double *stiff;     /* per-node stiffness */
+int steps;
+double source_amp;
+
+void smvp(void) {
+    int i;
+    for (i = 1; i < NODES - 1; i++) {
+        acc[i] = stiff[i] * (disp[i - 1] - 2.0 * disp[i] + disp[i + 1]);
+    }
+    acc[0] = 0.0;
+    acc[NODES - 1] = 0.0;
+}
+
+int main() {
+    int t, i;
+    double dt = 0.0024;
+    scanf("%d %lf", &steps, &source_amp);
+    disp = (double*) malloc(NODES * sizeof(double));
+    vel = (double*) malloc(NODES * sizeof(double));
+    acc = (double*) malloc(NODES * sizeof(double));
+    stiff = (double*) malloc(NODES * sizeof(double));
+    for (i = 0; i < NODES; i++) {
+        disp[i] = 0.0;
+        vel[i] = 0.0;
+        stiff[i] = 180.0 + (i % 17);
+    }
+    for (t = 0; t < steps; t++) {
+        disp[NODES / 3] += source_amp * (t < 12 ? 1.0 : 0.0);
+        smvp();
+        for (i = 0; i < NODES; i++) {
+            vel[i] += dt * acc[i];
+            disp[i] += dt * vel[i];
+        }
+        if (t % 50 == 0) {
+            printf("t=%d disp=%.6f\n", t, disp[NODES / 2]);
+        }
+    }
+    printf("final %.6f %.6f\n", disp[NODES / 4], disp[NODES / 2]);
+    return 0;
+}
+"""
+
+EQUAKE = WorkloadSpec(
+    name="183.equake",
+    description="Seismic wave propagation (explicit time stepping)",
+    source=_EQUAKE_SRC,
+    profile_stdin=b"30 0.8\n",
+    eval_stdin=b"55 0.8\n",
+    paper=PaperRow(loc="1.0k", exec_time_s=334.0,
+                   offloaded_functions="5 / 28",
+                   referenced_globals="83 / 104", fn_ptrs=0,
+                   target="main_for.cond548", coverage_pct=99.44,
+                   invocations=1, traffic_mb=16.5),
+)
+
+_AMMP_SRC = r"""
+/* 188.ammp counterpart: molecular dynamics.  Two offload targets as in
+   Table 4: tpac (the big force/integration kernel, one invocation) and
+   AMMPmonitor (energy audit, invoked twice). */
+#define ATOMS 500
+
+double *px; double *py; double *pz;
+double *vx; double *vy; double *vz;
+double *fx; double *fy; double *fz;
+int natoms;
+int md_steps;
+
+void forces(void) {
+    int i, j;
+    for (i = 0; i < natoms; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+    for (i = 0; i < natoms; i++) {
+        for (j = i + 1; j < i + 8 && j < natoms; j++) {
+            double dx = px[i] - px[j];
+            double dy = py[i] - py[j];
+            double dz = pz[i] - pz[j];
+            double r2 = dx * dx + dy * dy + dz * dz + 0.05;
+            double f = 1.0 / (r2 * r2);
+            fx[i] += f * dx; fy[i] += f * dy; fz[i] += f * dz;
+            fx[j] -= f * dx; fy[j] -= f * dy; fz[j] -= f * dz;
+        }
+    }
+}
+
+void tpac(void) {
+    int s, i;
+    double dt = 0.001;
+    for (s = 0; s < md_steps; s++) {
+        forces();
+        for (i = 0; i < natoms; i++) {
+            vx[i] += dt * fx[i]; vy[i] += dt * fy[i]; vz[i] += dt * fz[i];
+            px[i] += dt * vx[i]; py[i] += dt * vy[i]; pz[i] += dt * vz[i];
+        }
+    }
+}
+
+double AMMPmonitor(void) {
+    double kinetic = 0.0, pot = 0.0;
+    int i, j;
+    for (i = 0; i < natoms; i++) {
+        kinetic += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+        for (j = i + 1; j < i + 8 && j < natoms; j++) {
+            double dx = px[i] - px[j];
+            double dy = py[i] - py[j];
+            double dz = pz[i] - pz[j];
+            pot += 1.0 / sqrt(dx * dx + dy * dy + dz * dz + 0.05);
+        }
+    }
+    return 0.5 * kinetic + pot;
+}
+
+int main() {
+    int i;
+    double before, after;
+    scanf("%d %d", &natoms, &md_steps);
+    px = (double*) malloc(ATOMS * sizeof(double));
+    py = (double*) malloc(ATOMS * sizeof(double));
+    pz = (double*) malloc(ATOMS * sizeof(double));
+    vx = (double*) malloc(ATOMS * sizeof(double));
+    vy = (double*) malloc(ATOMS * sizeof(double));
+    vz = (double*) malloc(ATOMS * sizeof(double));
+    fx = (double*) malloc(ATOMS * sizeof(double));
+    fy = (double*) malloc(ATOMS * sizeof(double));
+    fz = (double*) malloc(ATOMS * sizeof(double));
+    for (i = 0; i < natoms; i++) {
+        px[i] = (i % 30) * 1.1; py[i] = ((i / 30) % 30) * 1.1;
+        pz[i] = (i / 900) * 1.1;
+        vx[i] = 0.01 * (i % 7 - 3); vy[i] = 0.01 * (i % 5 - 2);
+        vz[i] = 0.0;
+    }
+    before = AMMPmonitor();
+    tpac();
+    after = AMMPmonitor();
+    printf("energy %.4f -> %.4f\n", before, after);
+    return 0;
+}
+"""
+
+AMMP = WorkloadSpec(
+    name="188.ammp",
+    description="Computational chemistry (molecular dynamics)",
+    source=_AMMP_SRC,
+    profile_stdin=b"220 3\n",
+    eval_stdin=b"220 5\n",
+    paper=PaperRow(loc="9.8k", exec_time_s=878.0,
+                   offloaded_functions="17 / 179",
+                   referenced_globals="324 / 333", fn_ptrs=66,
+                   target="AMMPmonitor + tpac", coverage_pct=99.13,
+                   invocations=3, traffic_mb=17.3),
+)
+
+_MILC_SRC = r"""
+/* 433.milc counterpart: lattice QCD su3-flavoured link update, invoked
+   once per trajectory; the user steers trajectories interactively, so the
+   steering loop in main stays on the mobile device and `update` is the
+   target (2 invocations, as in Table 4). */
+#define VOL 600
+
+double *links;   /* VOL x 9 "su3" entries */
+double *staples;
+int sweeps;
+
+double site_action(int s) {
+    double a = 0.0;
+    int k;
+    for (k = 0; k < 9; k++) {
+        double l = links[s * 9 + k];
+        double st = staples[s * 9 + k];
+        a += l * st - 0.1 * l * l * l * l;
+    }
+    return a;
+}
+
+double update(void) {
+    int sweep, s, k;
+    double action = 0.0;
+    for (sweep = 0; sweep < sweeps; sweep++) {
+        for (s = 0; s < VOL; s++) {
+            int n = (s + 1) % VOL;
+            int p = (s + VOL - 1) % VOL;
+            for (k = 0; k < 9; k++) {
+                staples[s * 9 + k] = 0.5 * (links[n * 9 + k]
+                                            + links[p * 9 + k]);
+            }
+            for (k = 0; k < 9; k++) {
+                double delta = 0.02 * (staples[s * 9 + k]
+                                       - links[s * 9 + k]);
+                links[s * 9 + k] += delta;
+            }
+        }
+        action = 0.0;
+        for (s = 0; s < VOL; s += 16) action += site_action(s);
+    }
+    return action;
+}
+
+int main() {
+    int i, traj, ntraj;
+    scanf("%d", &ntraj);
+    links = (double*) malloc(VOL * 9 * sizeof(double));
+    staples = (double*) malloc(VOL * 9 * sizeof(double));
+    for (i = 0; i < VOL * 9; i++)
+        links[i] = 0.9 + 0.001 * ((i * 2654435761u >> 20) & 127);
+    for (traj = 0; traj < ntraj; traj++) {
+        double action;
+        scanf("%d", &sweeps);
+        action = update();
+        printf("trajectory %d action %.5f\n", traj, action);
+    }
+    return 0;
+}
+"""
+
+MILC = WorkloadSpec(
+    name="433.milc",
+    description="Quantum chromodynamics (lattice link update)",
+    source=_MILC_SRC,
+    profile_stdin=b"1\n2\n",
+    eval_stdin=b"2\n2\n2\n",
+    paper=PaperRow(loc="9.6k", exec_time_s=365.8,
+                   offloaded_functions="61 / 235",
+                   referenced_globals="445 / 493", fn_ptrs=6,
+                   target="update", coverage_pct=96.21,
+                   invocations=2, traffic_mb=13.4),
+)
+
+_LBM_SRC = r"""
+/* 470.lbm counterpart: D2Q5 lattice-Boltzmann fluid solver.  The offload
+   target is the time loop in main; the whole lattice crosses the network,
+   making this the heaviest-traffic program (643.6 MB in Table 4). */
+#define NX 48
+#define NY 48
+#define Q 5
+
+double *grid_a;
+double *grid_b;
+int timesteps;
+
+int idx(int x, int y, int q) { return (y * NX + x) * Q + q; }
+
+void collide_stream(double *src, double *dst) {
+    int x, y;
+    for (y = 1; y < NY - 1; y++) {
+        int row = y * NX;
+        for (x = 1; x < NX - 1; x++) {
+            int base = (row + x) * Q;
+            double f0 = src[base], f1 = src[base + 1], f2 = src[base + 2];
+            double f3 = src[base + 3], f4 = src[base + 4];
+            double rho = f0 + f1 + f2 + f3 + f4;
+            double eq = rho / 5.0;
+            double ux = f1 - f2;
+            double uy = f3 - f4;
+            dst[base] = f0 + 0.6 * (eq - f0);
+            dst[base + Q + 1] = f1 + 0.6 * (eq + 0.5 * ux - f1);
+            dst[base - Q + 2] = f2 + 0.6 * (eq - 0.5 * ux - f2);
+            dst[base + NX * Q + 3] = f3 + 0.6 * (eq + 0.5 * uy - f3);
+            dst[base - NX * Q + 4] = f4 + 0.6 * (eq - 0.5 * uy - f4);
+        }
+    }
+}
+
+int main() {
+    int t, i;
+    double *src; double *dst; double *tmp;
+    scanf("%d", &timesteps);
+    grid_a = (double*) malloc(NX * NY * Q * sizeof(double));
+    grid_b = (double*) malloc(NX * NY * Q * sizeof(double));
+    for (i = 0; i < NX * NY * Q; i++) {
+        grid_a[i] = 1.0 + 0.01 * ((i * 2654435761u >> 18) & 31);
+        grid_b[i] = grid_a[i];
+    }
+    src = grid_a; dst = grid_b;
+    for (t = 0; t < timesteps; t++) {
+        collide_stream(src, dst);
+        tmp = src; src = dst; dst = tmp;
+        if (t % 20 == 0) printf("step %d rho %.5f\n", t,
+                                src[idx(NX/2, NY/2, 0)]);
+    }
+    printf("done %.6f\n", src[idx(NX/3, NY/3, 0)]);
+    return 0;
+}
+"""
+
+LBM = WorkloadSpec(
+    name="470.lbm",
+    description="Fluid dynamics (lattice-Boltzmann D2Q5)",
+    source=_LBM_SRC,
+    profile_stdin=b"6\n",
+    eval_stdin=b"10\n",
+    paper=PaperRow(loc="0.9k", exec_time_s=1444.9,
+                   offloaded_functions="1 / 19",
+                   referenced_globals="16 / 20", fn_ptrs=0,
+                   target="main_for.cond", coverage_pct=99.70,
+                   invocations=1, traffic_mb=643.6),
+    expect_offload_slow=False,
+    comm_heavy=True,
+)

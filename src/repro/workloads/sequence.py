@@ -1,0 +1,149 @@
+"""Sequence/number-theory workloads: 456.hmmer and 462.libquantum.
+
+456.hmmer is the paper's best-behaved offload: the target takes "only the
+initialized parameters as its inputs", allocates its working set on the
+server side, and communicates almost nothing (0.3 MB in Table 4).
+462.libquantum references *zero* globals (0 / 44) — all state flows through
+parameters — and computes long modular-exponentiation chains.
+"""
+
+from .base import PaperRow, WorkloadSpec
+
+_HMMER_SRC = r"""
+/* 456.hmmer counterpart: profile-HMM Viterbi search over a synthetic
+   sequence database.  The DP matrices are allocated inside the target, so
+   they never cross the network. */
+#define MODEL 24
+#define SEQLEN 60
+
+int *hmm_match;     /* MODEL emission scores x 4 symbols */
+int *hmm_insert;
+int nseqs;
+
+int viterbi_score(unsigned char *seq, int len, int *dp_cur, int *dp_prev) {
+    int i, k;
+    for (k = 0; k <= MODEL; k++) dp_prev[k] = k == 0 ? 0 : -100000;
+    for (i = 1; i <= len; i++) {
+        int sym = seq[i - 1] & 3;
+        dp_cur[0] = -i * 3;
+        for (k = 1; k <= MODEL; k++) {
+            int diag = dp_prev[k - 1] + hmm_match[(k - 1) * 4 + sym];
+            int up = dp_prev[k] + hmm_insert[(k - 1) * 4 + sym] - 4;
+            int left = dp_cur[k - 1] - 9;
+            int best = diag;
+            if (up > best) best = up;
+            if (left > best) best = left;
+            dp_cur[k] = best;
+        }
+        for (k = 0; k <= MODEL; k++) dp_prev[k] = dp_cur[k];
+    }
+    return dp_prev[MODEL];
+}
+
+int main_loop_serial(void) {
+    unsigned char seq[SEQLEN];
+    int *dp_cur;
+    int *dp_prev;
+    unsigned int rng = 1234;
+    int s, i, hits = 0;
+    dp_cur = (int*) malloc((MODEL + 1) * sizeof(int));
+    dp_prev = (int*) malloc((MODEL + 1) * sizeof(int));
+    for (s = 0; s < nseqs; s++) {
+        int score;
+        for (i = 0; i < SEQLEN; i++) {
+            rng = rng * 1103515245 + 12345;
+            seq[i] = (unsigned char)((rng >> 16) & 3);
+        }
+        score = viterbi_score(seq, SEQLEN, dp_cur, dp_prev);
+        if (score > -200) hits++;
+    }
+    free(dp_cur);
+    free(dp_prev);
+    printf("db hits %d / %d\n", hits, nseqs);
+    return hits;
+}
+
+int main() {
+    int i, hits;
+    scanf("%d", &nseqs);
+    hmm_match = (int*) malloc(MODEL * 4 * sizeof(int));
+    hmm_insert = (int*) malloc(MODEL * 4 * sizeof(int));
+    for (i = 0; i < MODEL * 4; i++) {
+        hmm_match[i] = (i * 7919) % 11 - 3;
+        hmm_insert[i] = (i * 104729) % 7 - 4;
+    }
+    hits = main_loop_serial();
+    printf("search done: %d hits\n", hits);
+    return 0;
+}
+"""
+
+HMMER = WorkloadSpec(
+    name="456.hmmer",
+    description="Gene sequence search (profile-HMM Viterbi)",
+    source=_HMMER_SRC,
+    profile_stdin=b"4\n",
+    eval_stdin=b"8\n",
+    paper=PaperRow(loc="20.6k", exec_time_s=31.3,
+                   offloaded_functions="36 / 538",
+                   referenced_globals="995 / 1050", fn_ptrs=36,
+                   target="main_loop_serial", coverage_pct=99.99,
+                   invocations=1, traffic_mb=0.3),
+)
+
+_LIBQUANTUM_SRC = r"""
+/* 462.libquantum counterpart: Shor-style modular exponentiation over a
+   simulated quantum register.  All state lives in locals/parameters (the
+   original references no globals at all). */
+
+unsigned long mulmod(unsigned long a, unsigned long b, unsigned long m) {
+    unsigned long r = 0;
+    while (b) {
+        if (b & 1) r = (r + a) % m;
+        a = (a + a) % m;
+        b = b >> 1;
+    }
+    return r;
+}
+
+unsigned long quantum_exp_mod_n(unsigned long base, unsigned long n,
+                                int width, int reps) {
+    unsigned long acc = 0;
+    int r, bit;
+    for (r = 0; r < reps; r++) {
+        unsigned long result = 1;
+        unsigned long b = (base + r) % n;
+        if (b < 2) b = 2;
+        for (bit = 0; bit < width; bit++) {
+            result = mulmod(result, result, n);
+            if ((r >> (bit % 16)) & 1) {
+                result = mulmod(result, b, n);
+            }
+        }
+        acc = (acc + result) % n;
+    }
+    return acc;
+}
+
+int main() {
+    int width, reps;
+    unsigned long n, base, answer;
+    scanf("%d %d %lu %lu", &width, &reps, &n, &base);
+    answer = quantum_exp_mod_n(base, n, width, reps);
+    printf("exp_mod residue %lu\n", answer);
+    return 0;
+}
+"""
+
+LIBQUANTUM = WorkloadSpec(
+    name="462.libquantum",
+    description="Quantum computing (modular exponentiation chains)",
+    source=_LIBQUANTUM_SRC,
+    profile_stdin=b"30 25 1000003 7\n",
+    eval_stdin=b"30 50 1000003 7\n",
+    paper=PaperRow(loc="2.6k", exec_time_s=71.0,
+                   offloaded_functions="62 / 116",
+                   referenced_globals="0 / 44", fn_ptrs=0,
+                   target="quantum_exp_mod_n", coverage_pct=92.56,
+                   invocations=1, traffic_mb=6.3),
+)

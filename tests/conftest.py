@@ -1,0 +1,83 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.machine import Interpreter, Machine, install_libc
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.profiler import profile_module
+from repro.runtime import (FAST_WIFI, OffloadSession, SessionOptions,
+                           run_local)
+from repro.targets import ARM32, TargetArch
+
+
+def run_c(source: str, stdin: bytes = b"",
+          files: Optional[Dict[str, bytes]] = None,
+          arch: TargetArch = ARM32) -> Tuple[int, str]:
+    """Compile and run a C snippet locally; returns (exit_code, stdout)."""
+    module = compile_c(source, "test")
+    result = run_local(module, arch=arch, stdin=stdin, files=files)
+    return result.exit_code, result.stdout
+
+
+def interp_for(source: str, arch: TargetArch = ARM32,
+               role: str = "mobile") -> Interpreter:
+    """Machine + interpreter with a compiled module loaded."""
+    module = compile_c(source, "test")
+    machine = Machine(arch, role)
+    install_libc(machine)
+    machine.load(module)
+    return Interpreter(machine)
+
+
+def offload_c(source: str, stdin: bytes = b"",
+              files: Optional[Dict[str, bytes]] = None,
+              profile_stdin: Optional[bytes] = None,
+              network=FAST_WIFI,
+              compiler_options: Optional[CompilerOptions] = None,
+              session_options: Optional[SessionOptions] = None):
+    """Full pipeline on a C snippet; returns (local, session_result,
+    program)."""
+    module = compile_c(source, "test")
+    profile = profile_module(
+        module,
+        stdin=profile_stdin if profile_stdin is not None else stdin,
+        files=files)
+    program = NativeOffloaderCompiler(
+        compiler_options or CompilerOptions()).compile(module, profile)
+    local = run_local(module, stdin=stdin, files=files)
+    session = OffloadSession(program, network, options=session_options,
+                             stdin=stdin, files=files)
+    return local, session.run(), program
+
+
+# A compute kernel big enough for the selector to pick, small enough for
+# fast tests: repeated polynomial evaluation over an array.
+HOT_KERNEL_SRC = r"""
+int *data;
+int n;
+
+int crunch(void) {
+    int i, r, acc = 0;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            acc += (data[i] * 31 + r) ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i;
+    scanf("%d", &n);
+    data = (int*) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    printf("crunched %d\n", crunch());
+    return 0;
+}
+"""
+HOT_KERNEL_STDIN = b"600\n"

@@ -1,0 +1,148 @@
+"""Tests for the ABI layout engine — including the paper's Figure 4 case —
+plus hypothesis property tests over random structs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (ArrayType, FloatType, IntType, PointerType,
+                      StructType, I8, I16, I32, I64, F32, F64, ptr)
+from repro.targets import (ARM32, MIPS32BE, X86, X86_64, DataLayout,
+                           StructLayout, layouts_differ)
+
+
+def move_struct() -> StructType:
+    return StructType("Move", [("from", I8), ("to", I8), ("score", F64)])
+
+
+class TestFigure4:
+    """The paper's Figure 4: Move has different layouts on IA32 and ARM."""
+
+    def test_arm_layout(self):
+        layout = DataLayout(ARM32).struct_layout(move_struct())
+        assert layout.offsets == (0, 1, 8)
+        assert layout.size == 16
+
+    def test_ia32_layout(self):
+        layout = DataLayout(X86).struct_layout(move_struct())
+        assert layout.offsets == (0, 1, 4)
+        assert layout.size == 12
+
+    def test_layouts_differ_detects_it(self):
+        diff = layouts_differ(DataLayout(ARM32), DataLayout(X86),
+                              [move_struct()])
+        assert diff == ["Move"]
+
+    def test_arm_and_x86_64_agree_on_move(self):
+        diff = layouts_differ(DataLayout(ARM32), DataLayout(X86_64),
+                              [move_struct()])
+        assert diff == []
+
+    def test_pointer_field_differs_between_32_and_64(self):
+        packet = StructType("Packet", [("tag", I8), ("p", ptr(I8)),
+                                       ("len", I32)])
+        a = DataLayout(ARM32).struct_layout(packet)
+        b = DataLayout(X86_64).struct_layout(packet)
+        assert a.offsets == (0, 4, 8)
+        assert b.offsets == (0, 8, 16)
+        assert a.size == 12 and b.size == 24
+
+
+class TestScalarSizes:
+    def test_int_sizes(self):
+        layout = DataLayout(ARM32)
+        assert layout.size_of(I8) == 1
+        assert layout.size_of(I16) == 2
+        assert layout.size_of(I32) == 4
+        assert layout.size_of(I64) == 8
+
+    def test_pointer_size_tracks_target(self):
+        assert DataLayout(ARM32).size_of(ptr(I8)) == 4
+        assert DataLayout(X86_64).size_of(ptr(I8)) == 8
+
+    def test_pointer_size_override(self):
+        unified = DataLayout(X86_64, pointer_bytes=4)
+        assert unified.size_of(ptr(I8)) == 4
+        assert unified.arch is X86_64
+
+    def test_array_size(self):
+        assert DataLayout(ARM32).size_of(ArrayType(I32, 10)) == 40
+
+    def test_element_offset(self):
+        layout = DataLayout(ARM32)
+        assert layout.element_offset(ArrayType(I64, 8), 3) == 24
+        assert layout.element_offset(move_struct(), 2) == 8
+
+
+class TestStructOverride:
+    def test_override_replaces_native(self):
+        native = DataLayout(X86)
+        unified_layout = DataLayout(ARM32).struct_layout(move_struct())
+        overridden = native.clone_with(
+            struct_overrides={"Move": unified_layout})
+        assert overridden.struct_layout(move_struct()).offsets == (0, 1, 8)
+        # the original is untouched
+        assert native.struct_layout(move_struct()).offsets == (0, 1, 4)
+
+
+# -- hypothesis property tests --------------------------------------------
+
+_scalar_types = st.sampled_from(
+    [I8, I16, I32, I64, F32, F64, ptr(I8), ptr(I64)])
+_field_lists = st.lists(_scalar_types, min_size=1, max_size=8)
+_arches = st.sampled_from([ARM32, X86, X86_64, MIPS32BE])
+
+_counter = [0]
+
+
+def _fresh_struct(types) -> StructType:
+    _counter[0] += 1
+    return StructType(f"S{_counter[0]}",
+                      [(f"f{i}", t) for i, t in enumerate(types)])
+
+
+@given(_field_lists, _arches)
+@settings(max_examples=120, deadline=None)
+def test_layout_invariants(types, arch):
+    """Every field offset is aligned, fields never overlap, and the struct
+    size is a multiple of its alignment and covers every field."""
+    struct = _fresh_struct(types)
+    layout = DataLayout(arch)
+    sl = layout.struct_layout(struct)
+    end = 0
+    for (name, ftype), offset in zip(struct.fields, sl.offsets):
+        align = layout.align_of(ftype)
+        assert offset % align == 0, f"{name} misaligned"
+        assert offset >= end, f"{name} overlaps the previous field"
+        end = offset + layout.size_of(ftype)
+    assert sl.size >= end
+    assert sl.size % sl.align == 0
+    assert sl.align == max(layout.align_of(t) for _, t in struct.fields)
+
+
+@given(_field_lists)
+@settings(max_examples=60, deadline=None)
+def test_unified_layout_fits_on_every_target(types):
+    """The mobile (ARM32) layout, imposed on any other target, still has
+    room for every field as stored under the *unified* pointer width."""
+    struct = _fresh_struct(types)
+    mobile = DataLayout(ARM32)
+    unified = mobile.struct_layout(struct)
+    for arch in (X86, X86_64, MIPS32BE):
+        target = DataLayout(arch, pointer_bytes=4,
+                            struct_overrides={struct.name: unified})
+        sl = target.struct_layout(struct)
+        assert sl == unified
+        end = 0
+        for (_, ftype), offset in zip(struct.fields, sl.offsets):
+            assert offset >= end
+            end = offset + target.size_of(ftype)
+        assert sl.size >= end
+
+
+@given(_field_lists, _arches)
+@settings(max_examples=60, deadline=None)
+def test_layout_is_deterministic(types, arch):
+    struct = _fresh_struct(types)
+    a = DataLayout(arch).struct_layout(struct)
+    b = DataLayout(arch).struct_layout(struct)
+    assert a == b

@@ -1,0 +1,131 @@
+"""Tests for the deterministic free-list allocator behind the UVA heap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Allocator, OutOfMemoryError
+
+
+class TestAllocFree:
+    def test_basic_alloc(self):
+        heap = Allocator(0x1000, 0x10000)
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert a >= 0x1000
+        assert b >= a + 100
+        assert heap.live_bytes >= 200
+
+    def test_alignment(self):
+        heap = Allocator(0x1000, 0x10000, align=16)
+        for size in (1, 5, 17, 100):
+            assert heap.alloc(size) % 16 == 0
+
+    def test_free_and_reuse(self):
+        heap = Allocator(0x1000, 0x1000)
+        a = heap.alloc(256)
+        heap.free(a)
+        b = heap.alloc(256)
+        assert b == a  # first fit reuses the hole
+
+    def test_coalescing(self):
+        heap = Allocator(0x1000, 0x1000)
+        a = heap.alloc(256)
+        b = heap.alloc(256)
+        c = heap.alloc(256)
+        heap.free(a)
+        heap.free(b)  # coalesces with a's hole
+        big = heap.alloc(512)
+        assert big == a
+        heap.free(c)
+        heap.free(big)
+
+    def test_double_free_rejected(self):
+        heap = Allocator(0x1000, 0x1000)
+        a = heap.alloc(64)
+        heap.free(a)
+        with pytest.raises(ValueError):
+            heap.free(a)
+
+    def test_free_null_is_noop(self):
+        heap = Allocator(0x1000, 0x1000)
+        heap.free(0)
+
+    def test_oom(self):
+        heap = Allocator(0x1000, 256)
+        with pytest.raises(OutOfMemoryError):
+            heap.alloc(1024)
+
+    def test_zero_size_allocates_minimum(self):
+        heap = Allocator(0x1000, 0x1000)
+        a = heap.alloc(0)
+        assert heap.size_of(a) is not None
+
+    def test_peak_tracking(self):
+        heap = Allocator(0x1000, 0x10000)
+        a = heap.alloc(1000)
+        peak = heap.peak_bytes
+        heap.free(a)
+        heap.alloc(100)
+        assert heap.peak_bytes == peak
+
+    def test_owns(self):
+        heap = Allocator(0x1000, 0x1000)
+        assert heap.owns(0x1000)
+        assert heap.owns(0x1FFF)
+        assert not heap.owns(0x2000)
+        assert not heap.owns(0x0FFF)
+
+
+class TestDeterminismAndState:
+    def test_two_allocators_agree(self):
+        """Mobile and server UVA allocators must produce identical
+        addresses for identical request sequences."""
+        a = Allocator(0x4000_0000, 1 << 20)
+        b = Allocator(0x4000_0000, 1 << 20)
+        addrs_a, addrs_b = [], []
+        for size in (64, 128, 8, 4096, 33):
+            addrs_a.append(a.alloc(size))
+            addrs_b.append(b.alloc(size))
+        assert addrs_a == addrs_b
+
+    def test_snapshot_restore_roundtrip(self):
+        a = Allocator(0x1000, 1 << 16)
+        ptrs = [a.alloc(s) for s in (64, 128, 256)]
+        a.free(ptrs[1])
+        state = a.snapshot()
+        b = Allocator(0x1000, 1 << 16)
+        b.restore(state)
+        # both now continue identically
+        assert a.alloc(50) == b.alloc(50)
+        assert a.alloc(128) == b.alloc(128)
+
+    def test_restore_geometry_mismatch_rejected(self):
+        a = Allocator(0x1000, 1 << 16)
+        b = Allocator(0x2000, 1 << 16)
+        with pytest.raises(ValueError):
+            b.restore(a.snapshot())
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("alloc"), st.integers(1, 4096)),
+    st.tuples(st.just("free"), st.integers(0, 30))),
+    min_size=1, max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_no_live_allocation_overlaps(ops):
+    """Property: live allocations never overlap, never escape the arena,
+    and accounting stays consistent."""
+    heap = Allocator(0x1000, 1 << 20)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            addr = heap.alloc(value)
+            assert 0x1000 <= addr
+            assert addr + value <= 0x1000 + (1 << 20)
+            live.append((addr, heap.size_of(addr)))
+        elif live:
+            addr, _ = live.pop(value % len(live))
+            heap.free(addr)
+    intervals = sorted(live)
+    for (a1, s1), (a2, _) in zip(intervals, intervals[1:]):
+        assert a1 + s1 <= a2, "allocations overlap"
+    assert heap.live_bytes == sum(s for _, s in live)

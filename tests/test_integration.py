@@ -1,0 +1,99 @@
+"""Full-pipeline integration tests on real workloads (profiling inputs,
+to stay fast) plus the public one-call API."""
+
+import pytest
+
+import repro
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.profiler import profile_module
+from repro.runtime import (FAST_WIFI, IDEAL_NETWORK, OffloadSession,
+                           SLOW_WIFI, SessionOptions, run_local)
+from repro.workloads import workload
+
+
+def run_full(name, networks=(FAST_WIFI,)):
+    spec = workload(name)
+    module = spec.module()
+    profile = profile_module(module, stdin=spec.profile_stdin,
+                             files=spec.profile_files)
+    program = NativeOffloaderCompiler(CompilerOptions()).compile(
+        module, profile)
+    local = run_local(module, stdin=spec.profile_stdin,
+                      files=spec.profile_files)
+    results = {}
+    for network in networks:
+        session = OffloadSession(program, network,
+                                 stdin=spec.profile_stdin,
+                                 files=spec.profile_files)
+        results[network.name] = session.run()
+    return local, results, program
+
+
+@pytest.mark.parametrize("name", ["456.hmmer", "462.libquantum",
+                                  "175.vpr", "chess"])
+def test_offload_preserves_output(name):
+    local, results, _ = run_full(name, (IDEAL_NETWORK, FAST_WIFI,
+                                        SLOW_WIFI))
+    for label, result in results.items():
+        assert result.stdout == local.stdout, f"{name} on {label}"
+        assert result.exit_code == local.exit_code
+
+
+def test_hmmer_offloads_and_wins():
+    local, results, program = run_full("456.hmmer")
+    result = results[FAST_WIFI.name]
+    assert result.offloaded_invocations == 1
+    assert result.total_seconds < local.seconds
+    assert result.energy_mj < local.energy_mj
+
+
+def test_gobmk_pays_remote_io_and_fn_ptr(
+
+):
+    local, results, program = run_full("445.gobmk")
+    result = results[FAST_WIFI.name]
+    assert program.fn_ptr_sites > 0
+    assert program.remote_io_sites > 0
+    assert result.stdout == local.stdout
+    assert result.remote_io_seconds > 0
+    assert result.fnptr_seconds > 0
+
+
+def test_twolf_reads_cell_file_remotely():
+    local, results, _ = run_full("300.twolf")
+    result = results[FAST_WIFI.name]
+    assert result.stdout == local.stdout
+    assert result.remote_io_seconds > 0
+
+
+def test_equake_loop_outlined_and_offloaded():
+    local, results, program = run_full("183.equake")
+    assert any(t.kind == "loop" for t in program.targets)
+    assert program.outlined_loops
+    result = results[FAST_WIFI.name]
+    assert result.stdout == local.stdout
+    assert result.offloaded_invocations >= 1
+
+
+def test_public_offload_app_api():
+    src = r"""
+    int work(int n) {
+        int i, acc = 0;
+        for (i = 0; i < n; i++) acc += i * i;
+        return acc;
+    }
+    int main() {
+        int n;
+        scanf("%d", &n);
+        printf("%d\n", work(n));
+        return 0;
+    }
+    """
+    result = repro.offload_app(src, stdin=b"20000\n")
+    assert result.exit_code == 0
+    assert result.stdout.strip().lstrip("-").isdigit()
+    assert result.offloaded_invocations >= 1
+
+
+def test_version_exposed():
+    assert repro.__version__

@@ -1,0 +1,210 @@
+"""Tests for the IR interpreter: semantics, timing, faults."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import (Constant, Function, FunctionType, IRBuilder, Module,
+                      I1, I8, I32, I64, F64)
+from repro.machine import (BadFunctionPointer, ExecutionLimitExceeded,
+                           Interpreter, Machine, StackOverflow, install_libc,
+                           to_signed)
+from repro.targets import ARM32, X86_64, CYCLE_TIME_SCALE
+
+from conftest import interp_for, run_c
+
+
+def eval_expr(op, lhs, rhs, type_=I32):
+    """Build a module computing a single binop and run it."""
+    m = Module()
+    fn = Function("f", FunctionType(type_, [type_, type_]), ["a", "b"])
+    m.add_function(fn)
+    b = IRBuilder(fn.add_block("entry"))
+    b.ret(b.binop(op, fn.args[0], fn.args[1]))
+    machine = Machine(ARM32)
+    install_libc(machine)
+    machine.load(m)
+    return Interpreter(machine).call_by_name("f", [lhs, rhs])
+
+
+class TestIntegerSemantics:
+    def test_add_wraps(self):
+        assert eval_expr("add", 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert to_signed(eval_expr("sub", 0, 1), 32) == -1
+
+    def test_mul_wraps(self):
+        assert eval_expr("mul", 1 << 31, 2) == 0
+
+    def test_sdiv_truncates_toward_zero(self):
+        # -7 / 2 == -3 in C
+        assert to_signed(eval_expr("sdiv", 0xFFFFFFF9, 2), 32) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        # -7 % 2 == -1 in C
+        assert to_signed(eval_expr("srem", 0xFFFFFFF9, 2), 32) == -1
+
+    def test_udiv(self):
+        assert eval_expr("udiv", 0xFFFFFFFE, 2) == 0x7FFFFFFF
+
+    def test_shifts(self):
+        assert eval_expr("shl", 1, 31) == 0x80000000
+        assert eval_expr("lshr", 0x80000000, 31) == 1
+        assert to_signed(eval_expr("ashr", 0x80000000, 31), 32) == -1
+
+    def test_bitwise(self):
+        assert eval_expr("and", 0b1100, 0b1010) == 0b1000
+        assert eval_expr("or", 0b1100, 0b1010) == 0b1110
+        assert eval_expr("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_division_by_zero_raises(self):
+        from repro.machine import InterpreterError
+        with pytest.raises(InterpreterError, match="zero"):
+            eval_expr("sdiv", 1, 0)
+
+
+class TestFloatSemantics:
+    def test_fp_ops(self):
+        assert eval_expr("fadd", 1.5, 2.25, F64) == 3.75
+        assert eval_expr("fmul", 3.0, 0.5, F64) == 1.5
+        assert eval_expr("fdiv", 1.0, 4.0, F64) == 0.25
+
+    def test_fdiv_by_zero_gives_inf(self):
+        assert eval_expr("fdiv", 1.0, 0.0, F64) == float("inf")
+
+
+class TestControlFlowAndCalls:
+    FIB = """
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { printf("%d\\n", fib(15)); return 0; }
+    """
+
+    def test_recursion(self):
+        code, out = run_c(self.FIB)
+        assert code == 0
+        assert out.strip() == "610"
+
+    def test_indirect_call_through_table(self):
+        src = """
+        typedef int (*FN)(int);
+        int dbl(int x) { return 2 * x; }
+        int sqr(int x) { return x * x; }
+        FN table[2] = { dbl, sqr };
+        int main() {
+            printf("%d %d\\n", table[0](21), table[1](7));
+            return 0;
+        }
+        """
+        assert run_c(src)[1].strip() == "42 49"
+
+    def test_bad_function_pointer_faults(self):
+        interp = interp_for("""
+        int main() { return 0; }
+        """)
+        m = interp.machine.module
+        fn = Function("caller", FunctionType(I32, []), [])
+        m.add_function(fn)
+        interp.machine.function_addresses["caller"] = 0xDEAD0
+        b = IRBuilder(fn.add_block("entry"))
+        from repro.ir import Cast, ptr
+        bogus = b.cast("inttoptr", b.i64(0x12345),
+                       ptr(FunctionType(I32, [])))
+        b.ret(b.call(bogus, []))
+        with pytest.raises(BadFunctionPointer):
+            interp.call_function(fn, [])
+
+    def test_stack_overflow_detected(self):
+        src = """
+        int boom(int n) { int pad[200]; pad[0] = n; return boom(n + pad[0]); }
+        int main() { return boom(1); }
+        """
+        interp = interp_for(src)
+        with pytest.raises(StackOverflow):
+            interp.run_main()
+
+    def test_execution_limit(self):
+        src = "int main() { while (1) {} return 0; }"
+        from repro.frontend import compile_c
+        module = compile_c(src, "spin")
+        machine = Machine(ARM32)
+        install_libc(machine)
+        machine.load(module)
+        interp = Interpreter(machine, max_instructions=10_000)
+        with pytest.raises(ExecutionLimitExceeded):
+            interp.run_main()
+
+
+class TestTiming:
+    def test_server_is_faster(self):
+        src = """
+        int main() {
+            int i, acc = 0;
+            for (i = 0; i < 20000; i++) acc += i ^ (acc << 1);
+            printf("%d\\n", acc);
+            return 0;
+        }
+        """
+        module = compile_c(src, "t")
+        times = {}
+        for arch in (ARM32, X86_64):
+            machine = Machine(arch, "mobile" if arch is ARM32 else "server")
+            install_libc(machine)
+            machine.load(module)
+            interp = Interpreter(machine)
+            interp.run_main()
+            times[arch.name] = interp.time_seconds
+        ratio = times["arm32"] / times["x86_64"]
+        assert 4.0 < ratio < 8.0, f"mobile/server gap {ratio} out of band"
+
+    def test_cycle_accounting_is_scaled(self):
+        interp = interp_for("int main() { return 0; }")
+        interp.charge("alu", 1)
+        assert interp.cycles == pytest.approx(
+            ARM32.cycles["alu"] * CYCLE_TIME_SCALE)
+
+    def test_raw_cycles_not_scaled(self):
+        interp = interp_for("int main() { return 0; }")
+        interp.charge_raw_cycles(300)
+        assert interp.cycles == pytest.approx(300)
+
+    def test_instruction_count_grows(self):
+        interp = interp_for(
+            "int main() { int i, s = 0;"
+            " for (i = 0; i < 100; i++) s += i; return s; }")
+        interp.run_main()
+        assert 300 < interp.instruction_count < 3000
+
+
+class TestUnificationOverheadCounters:
+    def test_pointer_conversion_counted_on_server(self):
+        src = """
+        int *p;
+        int main() {
+            int x = 5;
+            p = &x;
+            printf("%d\\n", *p);
+            return 0;
+        }
+        """
+        module = compile_c(src, "pc")
+        machine = Machine(X86_64, "server")
+        from repro.targets import DataLayout
+        machine.set_layout(DataLayout(X86_64, pointer_bytes=4))
+        install_libc(machine)
+        machine.load(module)
+        interp = Interpreter(machine)
+        interp.run_main()
+        assert machine.pointer_conversions > 0
+
+    def test_endian_swaps_counted_for_cross_endian_layout(self):
+        src = "int g; int main() { g = 7; printf(\"%d\\n\", g); return 0; }"
+        module = compile_c(src, "es")
+        machine = Machine(X86_64, "server")
+        from repro.targets import DataLayout
+        machine.set_layout(DataLayout(X86_64, byte_order="big"))
+        install_libc(machine)
+        machine.load(module)
+        interp = Interpreter(machine)
+        assert interp.run_main() == 0
+        assert machine.endian_swaps > 0
+        assert machine.io.stdout_text().strip() == "7"

@@ -1,0 +1,176 @@
+"""Tests for the IR builder, module and verifier."""
+
+import pytest
+
+from repro.ir import (Br, Call, Constant, Function, FunctionType,
+                      GlobalVariable, IRBuilder, Module, Ret, ScalarInit,
+                      StructType, VerificationError, I1, I32, I64, F64,
+                      print_module, verify_module, ptr)
+
+
+def make_identity() -> Module:
+    m = Module("m")
+    fn = Function("id", FunctionType(I32, [I32]), ["x"])
+    m.add_function(fn)
+    b = IRBuilder(fn.add_block("entry"))
+    b.ret(fn.args[0])
+    return m
+
+
+class TestModule:
+    def test_add_and_lookup(self):
+        m = make_identity()
+        assert m.function("id").name == "id"
+        assert m.get_function("nope") is None
+
+    def test_duplicate_function_rejected(self):
+        m = make_identity()
+        with pytest.raises(KeyError):
+            m.add_function(Function("id", FunctionType(I32, [I32])))
+
+    def test_declare_function_idempotent(self):
+        m = Module()
+        a = m.declare_function("printf", FunctionType(I32, [ptr(I32)],
+                                                      variadic=True))
+        b = m.declare_function("printf", FunctionType(I32, [ptr(I32)],
+                                                      variadic=True))
+        assert a is b
+
+    def test_clone_is_deep(self):
+        m = make_identity()
+        c = m.clone("copy")
+        assert c.name == "copy"
+        assert c.function("id") is not m.function("id")
+        # mutating the clone leaves the original alone
+        c.remove_function("id")
+        assert m.get_function("id") is not None
+
+    def test_globals(self):
+        m = Module()
+        gv = GlobalVariable("g", I32, ScalarInit(7))
+        m.add_global(gv)
+        assert m.global_("g") is gv
+        assert gv.type == ptr(I32)
+        with pytest.raises(KeyError):
+            m.add_global(GlobalVariable("g", I32))
+
+
+class TestBuilder:
+    def test_arithmetic_types(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, [I32, I32]), ["a", "b"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        s = b.add(fn.args[0], fn.args[1])
+        assert s.type == I32
+        p = b.mul(s, b.i32(3))
+        b.ret(p)
+        verify_module(m)
+
+    def test_mismatched_binop_rejected(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, [I32, I64]), ["a", "b"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        with pytest.raises(TypeError):
+            b.add(fn.args[0], fn.args[1])
+
+    def test_float_op_on_ints_rejected(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, [I32]), ["a"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        with pytest.raises(TypeError):
+            b.fadd(fn.args[0], fn.args[0])
+
+    def test_terminator_blocks_further_emission(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, []), [])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.i32(0))
+        with pytest.raises(RuntimeError):
+            b.ret(b.i32(1))
+
+    def test_struct_gep_types(self):
+        m = Module()
+        move = StructType("Move", [("from", I32), ("score", F64)])
+        m.add_struct(move)
+        fn = Function("f", FunctionType(F64, [ptr(move)]), ["p"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        addr = b.struct_gep(fn.args[0], 1)
+        assert addr.type == ptr(F64)
+        b.ret(b.load(addr))
+        verify_module(m)
+
+    def test_call_arity_checked(self):
+        m = make_identity()
+        fn = m.function("id")
+        caller = Function("c", FunctionType(I32, []), [])
+        m.add_function(caller)
+        b = IRBuilder(caller.add_block("entry"))
+        with pytest.raises(TypeError):
+            b.call(fn, [])
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        verify_module(make_identity())
+
+    def test_missing_terminator(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, []), [])
+        m.add_function(fn)
+        fn.add_block("entry")  # empty block, no terminator
+        with pytest.raises(VerificationError, match="no terminator"):
+            verify_module(m)
+
+    def test_ret_type_mismatch(self):
+        m = Module()
+        fn = Function("f", FunctionType(I64, []), [])
+        m.add_function(fn)
+        block = fn.add_block("entry")
+        block.append(Ret(Constant(I32, 1)))
+        with pytest.raises(VerificationError, match="ret type"):
+            verify_module(m)
+
+    def test_void_ret_with_value(self):
+        from repro.ir import VOID
+        m = Module()
+        fn = Function("f", FunctionType(VOID, []), [])
+        m.add_function(fn)
+        fn.add_block("entry").append(Ret(Constant(I32, 1)))
+        with pytest.raises(VerificationError, match="void"):
+            verify_module(m)
+
+    def test_branch_to_foreign_block(self):
+        m = Module()
+        f1 = Function("a", FunctionType(I32, []), [])
+        f2 = Function("b", FunctionType(I32, []), [])
+        m.add_function(f1)
+        m.add_function(f2)
+        foreign = f2.add_block("x")
+        foreign.append(Ret(Constant(I32, 0)))
+        blk = f1.add_block("entry")
+        blk.append(Br(foreign))
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_module(m)
+
+    def test_duplicate_block_names(self):
+        m = Module()
+        fn = Function("f", FunctionType(I32, []), [])
+        m.add_function(fn)
+        b1 = fn.add_block("entry")
+        b1.append(Ret(Constant(I32, 0)))
+        b2 = fn.add_block("entry")
+        b2.append(Ret(Constant(I32, 0)))
+        with pytest.raises(VerificationError, match="duplicate block"):
+            verify_module(m)
+
+
+def test_printer_round_trips_key_constructs():
+    m = make_identity()
+    text = print_module(m)
+    assert "define i32 @id(i32 %x)" in text
+    assert "ret i32" in text

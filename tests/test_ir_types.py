@@ -1,0 +1,129 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (ArrayType, FloatType, FunctionType, IntType,
+                      PointerType, StructType, VoidType, VOID, I1, I8, I16,
+                      I32, I64, F32, F64, ptr, array)
+
+
+class TestIntType:
+    def test_singletons_have_expected_widths(self):
+        assert I1.bits == 1
+        assert I8.bits == 8
+        assert I32.bits == 32
+        assert I64.bits == 64
+
+    def test_structural_equality(self):
+        assert IntType(32) == I32
+        assert IntType(32) != IntType(64)
+        assert hash(IntType(8)) == hash(I8)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(12)
+
+    def test_bounds(self):
+        assert I8.max_unsigned == 255
+        assert I8.min_signed == -128
+        assert I8.max_signed == 127
+        assert I32.max_signed == 2**31 - 1
+
+    def test_predicates(self):
+        assert I32.is_integer and I32.is_scalar
+        assert not I32.is_float and not I32.is_pointer
+
+
+class TestFloatType:
+    def test_widths(self):
+        assert F32.bits == 32
+        assert F64.bits == 64
+        with pytest.raises(ValueError):
+            FloatType(80)
+
+    def test_str(self):
+        assert str(F32) == "float"
+        assert str(F64) == "double"
+
+
+class TestPointerType:
+    def test_equality_is_structural(self):
+        assert ptr(I32) == PointerType(I32)
+        assert ptr(I32) != ptr(I64)
+
+    def test_nested(self):
+        pp = ptr(ptr(I8))
+        assert pp.pointee == ptr(I8)
+        assert str(pp) == "i8**"
+
+    def test_is_scalar(self):
+        assert ptr(VOID).is_scalar
+        assert ptr(VOID).is_pointer
+
+
+class TestArrayType:
+    def test_basic(self):
+        a = array(I32, 10)
+        assert a.element == I32
+        assert a.count == 10
+        assert a.is_aggregate
+        assert str(a) == "[10 x i32]"
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I32, -1)
+
+    def test_equality(self):
+        assert array(I8, 4) == array(I8, 4)
+        assert array(I8, 4) != array(I8, 5)
+
+
+class TestStructType:
+    def test_nominal_equality(self):
+        a = StructType("Foo", [("x", I32)])
+        b = StructType("Foo", [("x", I64)])  # same name, different body
+        assert a == b  # nominal typing
+        assert a != StructType("Bar", [("x", I32)])
+
+    def test_field_access(self):
+        s = StructType("Move", [("from", I8), ("to", I8), ("score", F64)])
+        assert s.field_index("score") == 2
+        assert s.field_names == ["from", "to", "score"]
+        assert s.field_types[2] == F64
+        with pytest.raises(KeyError):
+            s.field_index("nope")
+
+    def test_opaque(self):
+        s = StructType("Fwd")
+        assert s.is_opaque
+        with pytest.raises(ValueError):
+            _ = s.fields
+        s.set_body([("a", I32)])
+        assert not s.is_opaque
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            StructType("Bad", [("x", I32), ("x", I64)])
+
+
+class TestFunctionType:
+    def test_basic(self):
+        ft = FunctionType(I32, [I32, F64])
+        assert ft.ret == I32
+        assert ft.params == [I32, F64]
+        assert not ft.variadic
+
+    def test_variadic_str(self):
+        ft = FunctionType(VOID, [ptr(I8)], variadic=True)
+        assert "..." in str(ft)
+
+    def test_equality(self):
+        assert FunctionType(I32, [I8]) == FunctionType(I32, [I8])
+        assert FunctionType(I32, [I8]) != FunctionType(I32, [I8],
+                                                       variadic=True)
+
+
+def test_void_is_not_scalar():
+    assert VOID.is_void
+    assert not VOID.is_scalar
+    assert isinstance(VOID, VoidType)

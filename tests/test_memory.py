@@ -1,0 +1,157 @@
+"""Tests for the paged address space: mapping, dirty tracking, fault
+hooks, and byte-level round trips (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import AddressSpace, SegmentationFault
+
+
+class TestBasicAccess:
+    def test_roundtrip_within_page(self):
+        mem = AddressSpace(page_size=4096)
+        mem.map_page(1)
+        mem.write(4096 + 100, b"hello")
+        assert mem.read(4096 + 100, 5) == b"hello"
+
+    def test_cross_page_write_and_read(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.map_page(1)
+        data = bytes(range(100))
+        mem.write(200, data)  # spans pages 0 and 1
+        assert mem.read(200, 100) == data
+
+    def test_unmapped_read_faults(self):
+        mem = AddressSpace()
+        with pytest.raises(SegmentationFault) as err:
+            mem.read(0x1000, 4)
+        assert err.value.address == 0x1000
+
+    def test_unmapped_write_faults(self):
+        mem = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            mem.write(0x2000, b"xy")
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressSpace(page_size=1000)
+
+    def test_cstring(self):
+        mem = AddressSpace()
+        mem.map_page(0)
+        mem.write(10, b"native\x00junk")
+        assert mem.read_cstring(10) == b"native"
+
+    def test_unterminated_cstring_raises(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.write(0, b"\x01" * 256)
+        with pytest.raises((ValueError, SegmentationFault)):
+            mem.read_cstring(0)
+
+
+class TestDirtyTracking:
+    def test_writes_mark_dirty(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(3)
+        assert mem.dirty_pages() == []
+        mem.write(3 * 256 + 5, b"x")
+        assert mem.dirty_pages() == [3]
+
+    def test_reads_do_not_mark_dirty(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(2)
+        mem.read(512, 10)
+        assert mem.dirty_pages() == []
+
+    def test_collect_clears(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.write(0, b"abc")
+        snapshot = mem.collect_dirty_pages()
+        assert list(snapshot) == [0]
+        assert snapshot[0][:3] == b"abc"
+        assert mem.dirty_pages() == []
+
+    def test_cross_page_write_dirties_both(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.map_page(1)
+        mem.write(250, b"0123456789")
+        assert mem.dirty_pages() == [0, 1]
+
+    def test_install_pages(self):
+        mem = AddressSpace(page_size=256)
+        mem.install_pages({5: b"\xAA" * 256}, mark_dirty=True)
+        assert mem.read(5 * 256, 1) == b"\xAA"
+        assert 5 in mem.dirty
+
+
+class TestFaultHandler:
+    def test_handler_resolves_fault(self):
+        mem = AddressSpace(page_size=256)
+        fetched = []
+
+        def handler(pidx):
+            fetched.append(pidx)
+            mem.map_page(pidx, b"\x42" * 256)
+            return True
+
+        mem.fault_handler = handler
+        assert mem.read(10 * 256 + 3, 1) == b"\x42"
+        assert fetched == [10]
+        assert mem.fault_count == 1
+
+    def test_handler_refusal_still_faults(self):
+        mem = AddressSpace(page_size=256)
+        mem.fault_handler = lambda pidx: False
+        with pytest.raises(SegmentationFault):
+            mem.read(999, 1)
+
+    def test_mapped_pages_skip_handler(self):
+        calls = []
+        mem = AddressSpace(page_size=256)
+        mem.fault_handler = lambda p: calls.append(p) or False
+        mem.map_page(0)
+        mem.read(0, 4)
+        assert calls == []
+
+    def test_unmap(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.write(0, b"x")
+        mem.unmap_page(0)
+        assert not mem.is_mapped(0)
+        assert mem.dirty_pages() == []
+
+
+# -- hypothesis round trips -------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**20),
+       st.binary(min_size=1, max_size=600))
+@settings(max_examples=150, deadline=None)
+def test_write_read_roundtrip(address, data):
+    mem = AddressSpace(page_size=256)
+    first = address // 256
+    last = (address + len(data) - 1) // 256
+    for pidx in range(first, last + 1):
+        mem.map_page(pidx)
+    mem.write(address, data)
+    assert mem.read(address, len(data)) == data
+
+
+@given(st.lists(st.tuples(st.integers(0, 4000),
+                          st.binary(min_size=1, max_size=64)),
+                min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_overlapping_writes_behave_like_a_flat_buffer(writes):
+    """The paged memory is observationally identical to one big buffer."""
+    mem = AddressSpace(page_size=256)
+    for pidx in range(0, 4096 // 256 + 2):
+        mem.map_page(pidx)
+    reference = bytearray(8192)
+    for address, data in writes:
+        mem.write(address, data)
+        reference[address:address + len(data)] = data
+    assert mem.read(0, 4500) == bytes(reference[:4500])

@@ -1,0 +1,139 @@
+"""Tests for the hot function/loop profiler."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.profiler import profile_module
+
+SRC = r"""
+int light(int x) { return x + 1; }
+
+int heavy(int n) {
+    int i, acc = 0;
+    for (i = 0; i < n; i++) acc += light(acc) ^ i;
+    return acc;
+}
+
+int main() {
+    int t, total = 0;
+    for (t = 0; t < 3; t++) total += heavy(2000);
+    printf("%d\n", total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def prof():
+    return profile_module(compile_c(SRC, "prof"))
+
+
+class TestFunctionProfiles:
+    def test_invocation_counts(self, prof):
+        assert prof.candidates["main"].invocations == 1
+        assert prof.candidates["heavy"].invocations == 3
+        assert prof.candidates["light"].invocations == 6000
+
+    def test_inclusive_time_ordering(self, prof):
+        main_t = prof.candidates["main"].total_seconds
+        heavy_t = prof.candidates["heavy"].total_seconds
+        light_t = prof.candidates["light"].total_seconds
+        assert main_t >= heavy_t >= light_t > 0
+
+    def test_heavy_dominates_program(self, prof):
+        assert prof.coverage_of("heavy") > 0.9
+
+    def test_program_time_positive(self, prof):
+        assert prof.program_seconds > 0
+        assert prof.candidates["main"].total_seconds == pytest.approx(
+            prof.program_seconds, rel=0.05)
+
+
+class TestLoopProfiles:
+    def test_loops_discovered(self, prof):
+        loops = {c.name for c in prof.loops()}
+        assert any(name.startswith("heavy_for.cond") for name in loops)
+        assert any(name.startswith("main_for.cond") for name in loops)
+
+    def test_loop_invocations_count_entries_not_iterations(self, prof):
+        heavy_loop = next(c for c in prof.loops()
+                          if c.name.startswith("heavy_for"))
+        assert heavy_loop.invocations == 3   # entered once per heavy() call
+
+    def test_loop_time_included_in_function(self, prof):
+        heavy_loop = next(c for c in prof.loops()
+                          if c.name.startswith("heavy_for"))
+        heavy_fn = prof.candidates["heavy"]
+        assert heavy_loop.total_seconds <= heavy_fn.total_seconds * 1.001
+
+    def test_loop_includes_callee_time(self, prof):
+        heavy_loop = next(c for c in prof.loops()
+                          if c.name.startswith("heavy_for"))
+        light_fn = prof.candidates["light"]
+        assert heavy_loop.total_seconds > light_fn.total_seconds * 0.9
+
+
+class TestMemoryAttribution:
+    def test_touched_pages_recorded(self, prof):
+        assert prof.candidates["heavy"].memory_bytes > 0
+
+    def test_heap_pages_attributed(self):
+        src = r"""
+        int *buf;
+        int walk(void) {
+            int i, s = 0;
+            for (i = 0; i < 16384; i++) s += buf[i];
+            return s;
+        }
+        int main() {
+            int i;
+            buf = (int*) malloc(16384 * sizeof(int));
+            for (i = 0; i < 16384; i++) buf[i] = i;
+            printf("%d\n", walk());
+            return 0;
+        }
+        """
+        prof = profile_module(compile_c(src, "mem"))
+        # walk touches 64 KiB of heap -> at least 16 pages
+        assert prof.candidates["walk"].memory_bytes >= 16384 * 4
+
+
+class TestRecursion:
+    def test_recursive_function_not_double_counted(self):
+        src = r"""
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { printf("%d\n", fib(14)); return 0; }
+        """
+        prof = profile_module(compile_c(src, "rec"))
+        fib = prof.candidates["fib"]
+        assert fib.invocations > 100
+        # inclusive time of the outermost activation only
+        assert fib.total_seconds <= prof.program_seconds * 1.001
+
+    def test_loop_in_recursive_function_not_double_counted(self):
+        src = r"""
+        int walk(int depth) {
+            int i, acc = 0;
+            for (i = 0; i < 10; i++) {
+                acc += i;
+                if (i == 5 && depth > 0) acc += walk(depth - 1);
+            }
+            return acc;
+        }
+        int main() { printf("%d\n", walk(6)); return 0; }
+        """
+        prof = profile_module(compile_c(src, "recloop"))
+        loop = next(c for c in prof.loops()
+                    if c.name.startswith("walk_for"))
+        assert loop.total_seconds <= prof.program_seconds * 1.001
+
+
+def test_stdout_and_exit_code_captured(prof):
+    assert prof.exit_code == 0
+    assert prof.stdout.strip().lstrip("-").isdigit()
+
+
+def test_hottest_is_sorted(prof):
+    hottest = prof.hottest(5)
+    times = [c.total_seconds for c in hottest]
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,103 @@
+"""Tests for scalar encode/decode — byte order, pointer width, floats."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import IntType, PointerType, I8, I16, I32, I64, F32, F64, ptr
+from repro.machine import decode_scalar, encode_scalar, scalar_size, \
+    to_signed, to_unsigned
+from repro.targets import ARM32, MIPS32BE, X86_64, DataLayout
+
+LITTLE = DataLayout(ARM32)
+BIG = DataLayout(MIPS32BE)
+WIDE = DataLayout(X86_64)
+
+
+class TestSignHelpers:
+    def test_to_signed(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(5, 32) == 5
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(-1, 32) == 0xFFFFFFFF
+        assert to_unsigned(300, 8) == 44
+
+    def test_inverse(self):
+        for bits in (8, 16, 32, 64):
+            for v in (-1, 0, 1, 2**(bits - 1) - 1, -(2**(bits - 1))):
+                assert to_signed(to_unsigned(v, bits), bits) == v
+
+
+class TestEncodeDecode:
+    def test_int_little_endian(self):
+        assert encode_scalar(0x01020304, I32, LITTLE) == \
+            b"\x04\x03\x02\x01"
+
+    def test_int_big_endian(self):
+        assert encode_scalar(0x01020304, I32, BIG) == b"\x01\x02\x03\x04"
+
+    def test_double_roundtrip(self):
+        for layout in (LITTLE, BIG):
+            data = encode_scalar(3.14159, F64, layout)
+            assert len(data) == 8
+            assert decode_scalar(data, F64, layout) == 3.14159
+
+    def test_float32_precision(self):
+        data = encode_scalar(1.5, F32, LITTLE)
+        assert len(data) == 4
+        assert decode_scalar(data, F32, LITTLE) == 1.5
+
+    def test_pointer_width_follows_layout(self):
+        assert len(encode_scalar(0x1000, ptr(I8), LITTLE)) == 4
+        assert len(encode_scalar(0x1000, ptr(I8), WIDE)) == 8
+
+    def test_narrow_pointer_overflow_detected(self):
+        """A 64-bit address cannot be stored through a 32-bit unified
+        pointer — the precondition of address-size unification."""
+        with pytest.raises(OverflowError):
+            encode_scalar(1 << 33, ptr(I8), LITTLE)
+
+    def test_pointer_zero_extension_on_load(self):
+        unified = DataLayout(X86_64, pointer_bytes=4)
+        data = encode_scalar(0x40001234, ptr(I8), unified)
+        assert len(data) == 4
+        assert decode_scalar(data, ptr(I8), unified) == 0x40001234
+
+    def test_scalar_size(self):
+        assert scalar_size(I8, LITTLE) == 1
+        assert scalar_size(I64, LITTLE) == 8
+        assert scalar_size(F32, LITTLE) == 4
+        assert scalar_size(ptr(I8), WIDE) == 8
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1),
+       st.sampled_from([I8, I16, I32, I64]),
+       st.sampled_from([LITTLE, BIG, WIDE]))
+@settings(max_examples=200, deadline=None)
+def test_int_roundtrip_any_endianness(value, itype, layout):
+    value &= itype.max_unsigned
+    data = encode_scalar(value, itype, layout)
+    assert decode_scalar(data, itype, layout) == value
+
+
+@given(st.floats(allow_nan=False, allow_infinity=True, width=64),
+       st.sampled_from([LITTLE, BIG]))
+@settings(max_examples=150, deadline=None)
+def test_double_roundtrip_property(value, layout):
+    data = encode_scalar(value, F64, layout)
+    assert decode_scalar(data, F64, layout) == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_endianness_translation_is_byte_reversal(value):
+    """Little- and big-endian encodings of the same value are exact byte
+    reversals — the invariant the endianness-translation pass relies on."""
+    little = encode_scalar(value, I32, LITTLE)
+    big = encode_scalar(value, I32, BIG)
+    assert little == big[::-1]
