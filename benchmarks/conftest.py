@@ -13,6 +13,14 @@ import pytest
 from repro.eval import evaluate_suite
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a paper-evaluation run, distinct
+    from the fast unit tests in tests/ — mark it so `-m paper_eval` (or
+    `-m 'not paper_eval'` in a mixed invocation) can select on it."""
+    for item in items:
+        item.add_marker(pytest.mark.paper_eval)
+
+
 @pytest.fixture(scope="session")
 def suite():
     """All 17 SPEC-like programs, fully evaluated (cached)."""

@@ -4,6 +4,8 @@
     python -m repro run 458.sjeng             # offload one workload
     python -m repro run 164.gzip --network 802.11n
     python -m repro compile 456.hmmer         # show selection + stats
+    python -m repro trace chess               # traced run: event timeline
+    python -m repro trace chess --jsonl t.jsonl --chrome t.json
     python -m repro table 3                   # regenerate a paper table
     python -m repro figure 6a                 # regenerate a paper figure
 """
@@ -20,7 +22,9 @@ from .eval import (evaluate_suite, figure6a_execution_time,
                    render_table3, render_table4, render_table5)
 from .offload import CompilerOptions, NativeOffloaderCompiler
 from .profiler import profile_module
-from .runtime import NETWORKS, OffloadSession, run_local
+from .runtime import NETWORKS, OffloadSession, SessionOptions, run_local
+from .trace import (phase_totals, render_metrics, render_timeline,
+                    write_chrome_trace, write_jsonl)
 from .workloads import ALL_WORKLOADS, workload
 
 
@@ -82,6 +86,50 @@ def cmd_run(args) -> int:
     return 0 if match == "identical" else 1
 
 
+def cmd_trace(args) -> int:
+    """Run one workload with structured tracing and print its timeline
+    (docs/observability.md walks through reading this output)."""
+    network = NETWORKS.get(args.network)
+    if network is None:
+        print(f"unknown network {args.network!r}; "
+              f"available: {sorted(NETWORKS)}", file=sys.stderr)
+        return 2
+    spec, module, profile, program = _compile(args.workload)
+    options = SessionOptions(enable_tracing=True,
+                             trace_capacity=args.capacity)
+    session = OffloadSession(program, network, options=options,
+                             stdin=spec.eval_stdin, files=spec.eval_files)
+    result = session.run()
+    tracer = result.trace
+    events = tracer.events()
+
+    categories = (args.categories.split(",") if args.categories else None)
+    print(f"{spec.name} over {network.name} — "
+          f"{len(events)} trace events"
+          + (f" ({tracer.dropped} dropped by the ring buffer)"
+             if tracer.dropped else ""))
+    print(render_timeline(events, categories=categories, tail=args.tail))
+    print()
+    print(render_metrics(tracer.metrics))
+
+    derived = phase_totals(events)
+    reported = result.breakdown()
+    print()
+    print("phase totals (trace-derived vs session accounting)")
+    for key in reported:
+        print(f"  {key:<20s} {derived[key]:.9f} s   "
+              f"{reported[key]:.9f} s")
+    if args.jsonl:
+        count = write_jsonl(events, args.jsonl)
+        print(f"wrote {count} events to {args.jsonl}")
+    if args.chrome:
+        write_chrome_trace(events, args.chrome,
+                           process_name=f"{spec.name} over {network.name}")
+        print(f"wrote Chrome trace to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def cmd_table(args) -> int:
     renderers = {"1": render_table1, "2": render_table2,
                  "3": render_table3, "5": render_table5}
@@ -133,6 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", default="802.11ac",
                    help=f"one of {sorted(NETWORKS)}")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="offload one workload with "
+                                     "structured tracing and print the "
+                                     "event timeline + metrics")
+    p.add_argument("workload")
+    p.add_argument("--network", default="802.11ac",
+                   help=f"one of {sorted(NETWORKS)}")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="also write the trace as JSON Lines")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="also write a chrome://tracing-compatible JSON")
+    p.add_argument("--tail", type=int, default=None, metavar="N",
+                   help="print only the last N timeline lines")
+    p.add_argument("--categories", metavar="CAT[,CAT...]",
+                   help="restrict the timeline to these event categories")
+    p.add_argument("--capacity", type=int, default=262_144,
+                   help="trace ring-buffer capacity (events)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", help="1|2|3|4|5")

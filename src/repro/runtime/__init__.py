@@ -9,7 +9,7 @@ from .comm import (CommStats, CommunicationManager, TransferResult,
 from .fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES,
                         UnmappableFunctionPointer)
 from .uva import UVAManager, UVAStats
-from .dynamic_estimator import (DynamicPerformanceEstimator,
+from .dynamic_estimator import (DynamicPerformanceEstimator, GainEstimate,
                                 TargetRuntimeState)
 from .prediction import BandwidthPredictor, PredictionRecord
 from .session import (InvocationRecord, OffloadSession, SessionOptions,
@@ -26,7 +26,7 @@ __all__ = [
     "FunctionAddressTable", "MAP_LOOKUP_CYCLES",
     "UnmappableFunctionPointer",
     "UVAManager", "UVAStats",
-    "DynamicPerformanceEstimator", "TargetRuntimeState",
+    "DynamicPerformanceEstimator", "GainEstimate", "TargetRuntimeState",
     "InvocationRecord", "OffloadSession", "SessionOptions", "SessionResult",
     "LocalRunResult", "run_local",
 ]

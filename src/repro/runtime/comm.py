@@ -15,6 +15,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..trace import NULL_TRACER, Tracer
 from .network import NetworkModel
 
 # Cost model for the codec itself (cycles per byte on the executing core).
@@ -53,12 +54,14 @@ class CommunicationManager:
                  enable_batching: bool = True,
                  enable_compression: bool = True,
                  server_clock_hz: float = 3.6e9,
-                 mobile_clock_hz: float = 2.5e9):
+                 mobile_clock_hz: float = 2.5e9,
+                 tracer: Optional[Tracer] = None):
         self.network = network
         self.enable_batching = enable_batching
         self.enable_compression = enable_compression
         self.server_clock_hz = server_clock_hz
         self.mobile_clock_hz = mobile_clock_hz
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = CommStats()
         self._active_batch = None  # (to_server, payload list) or None
 
@@ -104,6 +107,8 @@ class CommunicationManager:
             [payloads] if self.enable_batching else [[p] for p in payloads])
         seconds = 0.0
         wire_total = 0
+        saved_bytes = 0
+        compression_seconds = 0.0
         for group in groups:
             raw = b"".join(group)
             framing = (MESSAGE_HEADER_BYTES
@@ -111,6 +116,7 @@ class CommunicationManager:
             if not to_server and self.enable_compression and len(raw) >= 128:
                 compressed = zlib.compress(raw, 1)
                 if len(compressed) < len(raw):
+                    saved_bytes += len(raw) - len(compressed)
                     self.stats.compression_saved_bytes += (
                         len(raw) - len(compressed))
                     comp_secs = (len(raw) * COMPRESS_CYCLES_PER_BYTE
@@ -119,6 +125,7 @@ class CommunicationManager:
                                  * DECOMPRESS_CYCLES_PER_BYTE
                                  / self.mobile_clock_hz)
                     self.stats.compression_seconds += comp_secs
+                    compression_seconds += comp_secs
                     seconds += comp_secs
                     raw = compressed
             wire = len(raw) + framing
@@ -132,6 +139,23 @@ class CommunicationManager:
             self.stats.bytes_to_mobile += payload_bytes
             self.stats.wire_bytes_to_mobile += wire_total
         self.stats.comm_seconds += seconds
+        tracer = self.tracer
+        if tracer.enabled:
+            direction = "to_server" if to_server else "to_mobile"
+            tracer.emit("comm.send", direction, dur=seconds,
+                        payload_bytes=payload_bytes, wire_bytes=wire_total,
+                        items=len(payloads), messages=len(groups),
+                        saved_bytes=saved_bytes,
+                        compression_seconds=compression_seconds)
+            metrics = tracer.metrics
+            metrics.counter("comm.messages").inc(len(groups))
+            metrics.counter(f"comm.payload_bytes_{direction}").inc(
+                payload_bytes)
+            metrics.counter(f"comm.wire_bytes_{direction}").inc(wire_total)
+            metrics.counter("comm.compression_saved_bytes").inc(saved_bytes)
+            metrics.counter("time.comm_seconds").inc(seconds)
+            metrics.histogram("comm.send_payload_bytes").observe(
+                payload_bytes)
         return TransferResult(seconds, wire_total, payload_bytes)
 
     def stream_to_mobile(self, payload: bytes) -> TransferResult:
@@ -154,6 +178,16 @@ class CommunicationManager:
         self.stats.bytes_to_mobile += len(payload)
         self.stats.wire_bytes_to_mobile += wire
         self.stats.comm_seconds += seconds
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("comm.stream", "to_mobile", dur=seconds,
+                        payload_bytes=len(payload), wire_bytes=wire,
+                        pipelined=self.enable_batching)
+            metrics = tracer.metrics
+            metrics.counter("comm.messages").inc()
+            metrics.counter("comm.payload_bytes_to_mobile").inc(len(payload))
+            metrics.counter("comm.wire_bytes_to_mobile").inc(wire)
+            metrics.counter("time.comm_seconds").inc(seconds)
         return TransferResult(seconds, wire, len(payload))
 
     def round_trip(self, request_bytes: int,
@@ -170,7 +204,37 @@ class CommunicationManager:
         self.stats.wire_bytes_to_mobile += (response_bytes
                                             + MESSAGE_HEADER_BYTES)
         self.stats.comm_seconds += seconds
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("comm.rtt", "control", dur=seconds,
+                        request_bytes=request_bytes,
+                        response_bytes=response_bytes,
+                        wire_request_bytes=(request_bytes
+                                            + MESSAGE_HEADER_BYTES),
+                        wire_response_bytes=(response_bytes
+                                             + MESSAGE_HEADER_BYTES))
+            metrics = tracer.metrics
+            metrics.counter("comm.messages").inc(2)
+            metrics.counter("comm.payload_bytes_to_server").inc(
+                request_bytes)
+            metrics.counter("comm.payload_bytes_to_mobile").inc(
+                response_bytes)
+            metrics.counter("comm.wire_bytes_to_server").inc(
+                request_bytes + MESSAGE_HEADER_BYTES)
+            metrics.counter("comm.wire_bytes_to_mobile").inc(
+                response_bytes + MESSAGE_HEADER_BYTES)
+            metrics.counter("time.comm_seconds").inc(seconds)
         return TransferResult(seconds,
                               request_bytes + response_bytes
                               + 2 * MESSAGE_HEADER_BYTES,
                               request_bytes + response_bytes)
+
+    def adjust_seconds(self, delta: float, reason: str = "adjust") -> None:
+        """Apply a signed correction to the accumulated communication
+        time (used when a recorded transfer's latency-bound timing is
+        replaced by a pipelined figure, e.g. remote *input* I/O)."""
+        self.stats.comm_seconds += delta
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("comm.adjust", reason, delta_seconds=delta)
+            tracer.metrics.counter("time.comm_seconds").inc(delta)

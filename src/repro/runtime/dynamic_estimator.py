@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from ..offload.partition import OffloadTarget
 from ..profiler.profile_data import ProfileData
+from ..trace import NULL_TRACER, Tracer
 from .network import NetworkModel
 from .prediction import BandwidthPredictor
 
@@ -28,11 +29,27 @@ class TargetRuntimeState:
     offloads: int = 0
 
 
+@dataclass
+class GainEstimate:
+    """Equation 1 evaluated with run-time values, kept component-wise so
+    the trace can record *why* a decision came out the way it did."""
+
+    t_mobile: float           # (observed or profiled) local seconds
+    memory_bytes: float       # (observed or profiled) transfer volume
+    t_ideal: float            # compute saving at the current ratio
+    bandwidth: float          # bytes/s used for the comm term
+    t_comm: float             # 2 * memory / bandwidth
+    gain: float               # t_ideal - t_comm
+    observed_time: bool       # True when t_mobile came from observation
+    observed_traffic: bool    # True when memory came from observation
+
+
 class DynamicPerformanceEstimator:
     def __init__(self, profile: ProfileData,
                  performance_ratio: float,
                  network: NetworkModel,
-                 predictor: Optional[BandwidthPredictor] = None):
+                 predictor: Optional[BandwidthPredictor] = None,
+                 tracer: Optional[Tracer] = None):
         self.profile = profile
         self.performance_ratio = performance_ratio
         self.network = network
@@ -40,7 +57,9 @@ class DynamicPerformanceEstimator:
         # Equation 1 uses the *predicted* bandwidth of the live link
         # instead of its nominal rate.
         self.predictor = predictor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.state: Dict[str, TargetRuntimeState] = {}
+        self.last_estimate: Optional[GainEstimate] = None
 
     def _state(self, name: str) -> TargetRuntimeState:
         return self.state.setdefault(name, TargetRuntimeState())
@@ -58,14 +77,16 @@ class DynamicPerformanceEstimator:
                 0.5 * state.observed_traffic_bytes + 0.5 * bytes_moved)
 
     # -- the decision -------------------------------------------------
-    def estimate_gain(self, target: OffloadTarget) -> float:
-        """Per-invocation Equation 1 with run-time values."""
+    def estimate(self, target: OffloadTarget) -> GainEstimate:
+        """Per-invocation Equation 1 with run-time values, componentwise."""
         state = self._state(target.name)
         prof = self.profile.candidates.get(target.name)
+        observed_time = state.observed_local_seconds is not None
         t_mobile = state.observed_local_seconds
         if t_mobile is None:
             t_mobile = (prof.seconds_per_invocation
                         if prof is not None and prof.invocations else 0.0)
+        observed_traffic = state.observed_traffic_bytes is not None
         memory = state.observed_traffic_bytes
         if memory is None:
             memory = float(prof.memory_bytes) if prof is not None else 0.0
@@ -75,13 +96,30 @@ class DynamicPerformanceEstimator:
             bandwidth = self.predictor.predict_bps(
                 self.network.bandwidth_bps) / 8.0
         t_comm = 2.0 * memory / bandwidth
-        return t_ideal - t_comm
+        return GainEstimate(t_mobile=t_mobile, memory_bytes=memory,
+                            t_ideal=t_ideal, bandwidth=bandwidth,
+                            t_comm=t_comm, gain=t_ideal - t_comm,
+                            observed_time=observed_time,
+                            observed_traffic=observed_traffic)
+
+    def estimate_gain(self, target: OffloadTarget) -> float:
+        """Per-invocation Equation 1 with run-time values."""
+        return self.estimate(target).gain
 
     def should_offload(self, target: OffloadTarget) -> bool:
         state = self._state(target.name)
         state.decisions += 1
-        gain = self.estimate_gain(target)
-        if gain > 0:
+        est = self.estimate(target)
+        self.last_estimate = est
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "estimate", target.name, gain_seconds=est.gain,
+                t_mobile=est.t_mobile, t_ideal=est.t_ideal,
+                t_comm=est.t_comm, memory_bytes=est.memory_bytes,
+                bandwidth_bytes_per_s=est.bandwidth,
+                observed_time=est.observed_time,
+                observed_traffic=est.observed_traffic)
+        if est.gain > 0:
             state.offloads += 1
             return True
         return False

@@ -33,6 +33,8 @@ from ..runtime.dynamic_estimator import DynamicPerformanceEstimator
 from ..runtime.fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES)
 from ..runtime.network import NetworkModel
 from ..runtime.uva import UVAManager
+from ..trace import NULL_TRACER, Tracer
+from ..trace.tracer import DEFAULT_CAPACITY as TRACE_DEFAULT_CAPACITY
 
 
 @dataclass
@@ -54,6 +56,12 @@ class SessionOptions:
     force_local: bool = False
     max_instructions: int = 500_000_000
     power_mw: Optional[Dict[str, float]] = None
+    # Structured tracing (repro.trace): off by default and strictly
+    # observational — with tracing disabled the session performs exactly
+    # the arithmetic it performs without the subsystem (the
+    # tracing-disabled invariant; see docs/observability.md).
+    enable_tracing: bool = False
+    trace_capacity: int = TRACE_DEFAULT_CAPACITY
 
 
 @dataclass
@@ -99,6 +107,14 @@ class SessionResult:
     bytes_to_server: int
     bytes_to_mobile: int
     compression_saved_bytes: int
+    # The session's tracer when SessionOptions.enable_tracing was set
+    # (None otherwise); carries the event ring buffer and the metrics
+    # registry.  See docs/observability.md.
+    trace: Optional[Tracer] = None
+
+    def trace_events(self):
+        """The captured trace events ([] when tracing was disabled)."""
+        return self.trace.events() if self.trace is not None else []
 
     @property
     def offloaded_invocations(self) -> int:
@@ -183,22 +199,28 @@ class OffloadSession:
         self.mobile.load(program.mobile_module)
         self.server.load(program.server_module)
 
+        # The structured tracer observes every runtime service; the
+        # shared NULL_TRACER keeps the disabled path free of new work.
+        self.tracer = (Tracer(capacity=opts.trace_capacity, clock=self.now)
+                       if opts.enable_tracing else NULL_TRACER)
         self.comm = CommunicationManager(
             network,
             enable_batching=opts.enable_batching,
             enable_compression=opts.enable_compression,
             server_clock_hz=server_arch.clock_hz,
-            mobile_clock_hz=mobile_arch.clock_hz)
+            mobile_clock_hz=mobile_arch.clock_hz,
+            tracer=self.tracer)
         self.uva = UVAManager(self.mobile, self.server, self.comm,
                               enable_prefetch=opts.enable_prefetch,
-                              enable_copy_on_demand=opts.enable_copy_on_demand)
+                              enable_copy_on_demand=opts.enable_copy_on_demand,
+                              tracer=self.tracer)
         self.fcn_table = FunctionAddressTable(self.mobile, self.server)
         from .prediction import BandwidthPredictor
         self.predictor = (BandwidthPredictor()
                           if opts.enable_bandwidth_prediction else None)
         self.estimator = DynamicPerformanceEstimator(
             program.profile, program.options.resolved_ratio(), network,
-            predictor=self.predictor)
+            predictor=self.predictor, tracer=self.tracer)
         self.meter = EnergyMeter(opts.power_mw)
 
         # Timeline bookkeeping (see _advance / _mark_compute).
@@ -209,6 +231,7 @@ class OffloadSession:
         self.server_instructions = 0
         self.server_compute_seconds = 0.0
         self.fnptr_seconds = 0.0
+        self._fnptr_lookups = 0   # only maintained while tracing
         self.invocations: List[InvocationRecord] = []
         self.mobile_interp: Optional[Interpreter] = None
         self._current_server_interp: Optional[Interpreter] = None
@@ -219,6 +242,13 @@ class OffloadSession:
     # Public API
     # ------------------------------------------------------------------
     def run(self, argv: tuple = ()) -> SessionResult:
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("session.start", self.program.name,
+                    network=self.network.name,
+                    targets=[t.name for t in self.program.targets],
+                    zero_overhead=self.options.zero_overhead,
+                    force_local=self.options.force_local)
         interp = Interpreter(self.mobile, observer=_TargetTimer(self),
                              max_instructions=self.options.max_instructions)
         self.mobile_interp = interp
@@ -226,6 +256,26 @@ class OffloadSession:
         self._mark_compute()
         trace = self.meter.trace
         total = self.now()
+        if tr.enabled:
+            tr.emit("session.end", self.program.name,
+                    exit_code=exit_code,
+                    total_seconds=total,
+                    mobile_compute_seconds=interp.time_seconds,
+                    server_compute_seconds=self.server_compute_seconds,
+                    comm_seconds=self.comm.stats.comm_seconds,
+                    remote_io_seconds=self.remote_io_seconds,
+                    fnptr_seconds=self.fnptr_seconds,
+                    energy_mj=trace.total_energy_mj,
+                    instructions_mobile=interp.instruction_count,
+                    instructions_server=self.server_instructions)
+            metrics = tr.metrics
+            metrics.gauge("session.total_seconds").set(total)
+            metrics.gauge("session.energy_mj").set(trace.total_energy_mj)
+            metrics.counter("time.mobile_compute_seconds").inc(
+                interp.time_seconds)
+            metrics.counter("time.remote_io_seconds").inc(
+                self.remote_io_seconds)
+            metrics.counter("time.fnptr_seconds").inc(self.fnptr_seconds)
         return SessionResult(
             program=self.program.name,
             network=self.network.name,
@@ -249,6 +299,7 @@ class OffloadSession:
             bytes_to_server=self.comm.stats.bytes_to_server,
             bytes_to_mobile=self.comm.stats.bytes_to_mobile,
             compression_saved_bytes=self.comm.stats.compression_saved_bytes,
+            trace=tr if tr.enabled else None,
         )
 
     def now(self) -> float:
@@ -304,18 +355,36 @@ class OffloadSession:
         target = self.program.partition.target_by_id(int(args[0]))
         interp.charge("alu", 40)  # estimation cost
         if self.options.force_local:
-            decision = False
+            decision, reason = False, "force_local"
         elif not self.options.enable_dynamic_estimation:
-            decision = True
+            decision, reason = True, "estimation_disabled"
         else:
             decision = self.estimator.should_offload(target)
+            reason = "positive_gain" if decision else "negative_gain"
         if not decision:
             self.invocations.append(
                 InvocationRecord(target=target.name, offloaded=False))
+        tr = self.tracer
+        if tr.enabled:
+            est = self.estimator.last_estimate
+            gain = (est.gain if reason in ("positive_gain",
+                                           "negative_gain")
+                    and est is not None else None)
+            tr.emit("decision", target.name, offloaded=decision,
+                    reason=reason, gain_seconds=gain)
+            metrics = tr.metrics
+            metrics.counter("decisions.total").inc()
+            metrics.counter("decisions.offloaded"
+                            if decision else "decisions.declined").inc()
         return 1 if decision else 0
 
     # -- fn-ptr mapping ---------------------------------------------------
     def _charge_fnptr(self, interp: Interpreter) -> None:
+        if self.tracer.enabled:
+            # Individual lookups are nanosecond-scale and extremely
+            # frequent; they are aggregated into one fnptr.window event
+            # per invocation instead of traced one by one.
+            self._fnptr_lookups += 1
         if self.options.zero_overhead:
             return
         interp.charge_raw_cycles(MAP_LOOKUP_CYCLES, "alu")
@@ -350,7 +419,8 @@ class OffloadSession:
                      + nbytes / self.network.bandwidth_bytes_per_s)
         # round_trip() recorded the traffic; replace its latency-bound
         # timing with the pipelined figure.
-        self.comm.stats.comm_seconds += pipelined - result.seconds
+        self.comm.adjust_seconds(pipelined - result.seconds,
+                                 "pipelined_input")
         return pipelined
 
     def _remote_io(self, name: str, interp: Interpreter, args):
@@ -361,22 +431,26 @@ class OffloadSession:
         self.remote_io_count += 1
         seconds = 0.0
         result = 0
+        io_bytes = 0
         if name == "printf":
             fmt = server_mem.read_cstring(int(args[0]))
             text = format_printf(interp, fmt, args[1:])
             mobile_io.write_stdout(text)
             seconds = self.comm.stream_to_mobile(text).seconds
             result = len(text)
+            io_bytes = len(text)
         elif name == "puts":
             text = server_mem.read_cstring(int(args[0])) + b"\n"
             mobile_io.write_stdout(text)
             seconds = self.comm.stream_to_mobile(text).seconds
             result = len(text)
+            io_bytes = len(text)
         elif name == "putchar":
             ch = bytes([int(args[0]) & 0xFF])
             mobile_io.write_stdout(ch)
             seconds = self.comm.stream_to_mobile(ch).seconds
             result = int(args[0])
+            io_bytes = 1
         elif name == "fprintf":
             fmt = server_mem.read_cstring(int(args[1]))
             text = format_printf(interp, fmt, args[2:])
@@ -388,6 +462,7 @@ class OffloadSession:
                 f.write(text)
             seconds = self.comm.stream_to_mobile(text).seconds
             result = len(text)
+            io_bytes = len(text)
         elif name == "fwrite":
             ptr, size, count, handle = (int(args[0]), int(args[1]),
                                         int(args[2]), int(args[3]))
@@ -396,14 +471,17 @@ class OffloadSession:
             written = f.write(data) if f is not None else 0
             seconds = self.comm.stream_to_mobile(data).seconds
             result = written // size if size else 0
+            io_bytes = len(data)
         elif name == "fopen":
             path = server_mem.read_cstring(int(args[0])).decode()
             mode = server_mem.read_cstring(int(args[1])).decode()
             result = mobile_io.open(path, mode)
             seconds = self.comm.round_trip(len(path) + 16, 16).seconds
+            io_bytes = len(path) + 32
         elif name == "fclose":
             result = mobile_io.close(int(args[0])) & 0xFFFFFFFF
             seconds = self.comm.round_trip(16, 16).seconds
+            io_bytes = 32
         elif name == "fread":
             ptr, size, count, handle = (int(args[0]), int(args[1]),
                                         int(args[2]), int(args[3]))
@@ -413,26 +491,31 @@ class OffloadSession:
                 server_mem.write(ptr, data)
             seconds = self._remote_input_cost(len(data))
             result = len(data) // size if size else 0
+            io_bytes = len(data)
         elif name == "fgets":
             ptr, limit, handle = int(args[0]), int(args[1]), int(args[2])
             f = mobile_io.file(handle)
             if f is None or f.at_eof:
                 seconds = self._remote_input_cost(16)
                 result = 0
+                io_bytes = 16
             else:
                 line = f.read_line(limit)
                 server_mem.write(ptr, line + b"\x00")
                 seconds = self._remote_input_cost(len(line))
                 result = ptr
+                io_bytes = len(line)
         elif name == "fgetc":
             f = mobile_io.file(int(args[0]))
             ch = f.read(1) if f is not None else b""
             seconds = self._remote_input_cost(1)
             result = ch[0] if ch else 0xFFFFFFFF
+            io_bytes = 1
         elif name == "feof":
             f = mobile_io.file(int(args[0]))
             seconds = self._remote_input_cost(1)
             result = 1 if (f is None or f.at_eof) else 0
+            io_bytes = 1
         else:
             raise KeyError(f"unknown remote I/O function {name}")
         if self.options.zero_overhead:
@@ -441,6 +524,11 @@ class OffloadSession:
             interp.charge("call", 4)  # request marshalling on the server
         self.remote_io_seconds += seconds
         self._rio_pending += seconds
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("rio.op", name, dur=seconds, bytes=io_bytes)
+            tr.metrics.counter("rio.ops").inc()
+            tr.metrics.counter("rio.bytes").inc(io_bytes)
         return result
 
     def _prefetch_pages(self, target_name: str, stack_pointer: int) -> set:
@@ -475,12 +563,19 @@ class OffloadSession:
                          args: List):
         opts = self.options
         zero = opts.zero_overhead
+        tr = self.tracer
         self._mark_compute()
         record = InvocationRecord(target=target.name, offloaded=True)
         comm_before = self.comm.stats
         bytes_s0 = comm_before.bytes_to_server
         bytes_m0 = comm_before.bytes_to_mobile
         faults0 = self.uva.stats.cod_faults
+        if tr.enabled:
+            prefetch_pages0 = self.uva.stats.prefetched_pages
+            fnptr_seconds0 = self.fnptr_seconds
+            fnptr_lookups0 = self._fnptr_lookups
+            writeback_pages0 = self.uva.stats.written_back_pages
+            writeback_bytes0 = self.uva.stats.written_back_bytes
 
         # ---- initialization (Figure 5) --------------------------------
         # One batched message carries the offload request, the page table,
@@ -499,6 +594,16 @@ class OffloadSession:
         if zero:
             init_seconds = 0.0
         record.init_seconds = init_seconds
+        if tr.enabled:
+            tr.emit("offload.init", target.name, dur=init_seconds,
+                    prefetch_pages=(self.uva.stats.prefetched_pages
+                                    - prefetch_pages0),
+                    bytes_to_server=(self.comm.stats.bytes_to_server
+                                     - bytes_s0),
+                    args=len(args))
+            tr.metrics.counter("offload.invocations").inc()
+            tr.metrics.histogram("offload.init_seconds").observe(
+                init_seconds)
         self._advance(init_seconds, "transmit",
                       self.meter.transmit_power(0.9, self.network.slow))
 
@@ -522,6 +627,20 @@ class OffloadSession:
         record.server_seconds = server_seconds
         record.cod_seconds = cod_seconds
         record.remote_io_seconds = rio_seconds
+        if tr.enabled:
+            tr.emit("offload.exec", target.name, dur=server_seconds,
+                    instructions=server_interp.instruction_count,
+                    cod_faults=self.uva.stats.cod_faults - faults0,
+                    cod_seconds=cod_seconds,
+                    remote_io_seconds=rio_seconds)
+            tr.metrics.histogram("offload.server_seconds").observe(
+                server_seconds)
+            fnptr_lookups = self._fnptr_lookups - fnptr_lookups0
+            if fnptr_lookups:
+                tr.emit("fnptr.window", target.name,
+                        lookups=fnptr_lookups,
+                        seconds=self.fnptr_seconds - fnptr_seconds0)
+                tr.metrics.counter("fnptr.lookups").inc(fnptr_lookups)
         # the mobile waits while the server computes; it receives during
         # CoD transfers and services remote I/O bursts
         self._advance(server_seconds, "wait")
@@ -539,6 +658,18 @@ class OffloadSession:
         if zero:
             fin_seconds = 0.0
         record.finalize_seconds = fin_seconds
+        if tr.enabled:
+            tr.emit("offload.finalize", target.name, dur=fin_seconds,
+                    writeback_pages=(self.uva.stats.written_back_pages
+                                     - writeback_pages0),
+                    writeback_bytes=(self.uva.stats.written_back_bytes
+                                     - writeback_bytes0),
+                    bytes_to_server=(self.comm.stats.bytes_to_server
+                                     - bytes_s0),
+                    bytes_to_mobile=(self.comm.stats.bytes_to_mobile
+                                     - bytes_m0))
+            tr.metrics.histogram("offload.finalize_seconds").observe(
+                fin_seconds)
         self._advance(fin_seconds, "receive")
 
         record.bytes_to_server = (self.comm.stats.bytes_to_server - bytes_s0)

@@ -18,6 +18,7 @@ from ..machine.machine import (Machine, CODE_BASES, GLOBAL_BASES,
                                NATIVE_HEAP_BASES, NATIVE_HEAP_SIZE,
                                MOBILE_STACK_TOP, SERVER_STACK_TOP,
                                STACK_SIZE, UVA_HEAP_BASE, UVA_HEAP_SIZE)
+from ..trace import NULL_TRACER, Tracer
 from .comm import CommunicationManager
 
 PAGE_TABLE_ENTRY_BYTES = 8
@@ -41,7 +42,8 @@ class UVAManager:
     def __init__(self, mobile: Machine, server: Machine,
                  comm: CommunicationManager,
                  enable_prefetch: bool = True,
-                 enable_copy_on_demand: bool = True):
+                 enable_copy_on_demand: bool = True,
+                 tracer: Optional[Tracer] = None):
         if mobile.memory.page_size != server.memory.page_size:
             raise ValueError("page size mismatch between machines")
         self.mobile = mobile
@@ -49,6 +51,7 @@ class UVAManager:
         self.comm = comm
         self.enable_prefetch = enable_prefetch
         self.enable_copy_on_demand = enable_copy_on_demand
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.page_size = mobile.memory.page_size
         self.stats = UVAStats()
         self._server_private = self._private_ranges(server)
@@ -120,7 +123,14 @@ class UVAManager:
             return 0.0
         self.server.memory.install_pages(installed)
         self.stats.prefetched_pages += len(installed)
-        self.stats.prefetch_bytes += sum(len(p) for p in payloads)
+        prefetch_bytes = sum(len(p) for p in payloads)
+        self.stats.prefetch_bytes += prefetch_bytes
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("uva.prefetch", "push", pages=len(installed),
+                        bytes=prefetch_bytes)
+            tracer.metrics.counter("uva.prefetch_pages").inc(len(installed))
+            tracer.metrics.counter("uva.prefetch_bytes").inc(prefetch_bytes)
         return self.comm.send_to_server(payloads).seconds
 
     def _server_fault(self, page_index: int) -> bool:
@@ -140,6 +150,15 @@ class UVAManager:
         self.stats.cod_faults += 1
         self.stats.cod_bytes += len(data)
         self.stats.cod_seconds += result.seconds
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("uva.fault", f"page-{page_index:#x}",
+                        dur=result.seconds, page=page_index,
+                        bytes=len(data))
+            tracer.metrics.counter("uva.cod_faults").inc()
+            tracer.metrics.counter("uva.cod_bytes").inc(len(data))
+            tracer.metrics.histogram("uva.fault_seconds").observe(
+                result.seconds)
         return True
 
     def write_back(self) -> Tuple[float, int]:
@@ -158,6 +177,13 @@ class UVAManager:
         self.stats.written_back_pages += len(installed)
         bytes_back = sum(len(p) for p in payloads)
         self.stats.written_back_bytes += bytes_back
+        tracer = self.tracer
+        if tracer.enabled and installed:
+            tracer.emit("uva.writeback", "dirty-pages",
+                        pages=len(installed), bytes=bytes_back)
+            tracer.metrics.counter("uva.writeback_pages").inc(
+                len(installed))
+            tracer.metrics.counter("uva.writeback_bytes").inc(bytes_back)
         if not payloads:
             return 0.0, 0
         return self.comm.send_to_mobile(payloads).seconds, bytes_back

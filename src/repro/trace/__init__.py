@@ -1,0 +1,44 @@
+"""Structured runtime observability for the Native Offloader.
+
+The paper's entire evaluation (Figures 6-8, Tables 3-5) is built on
+*observing* the runtime: per-phase execution breakdowns, page-fault
+counts, wire traffic, offload/decline decisions.  This package gives the
+simulated runtime the same first-class event log that real offloading
+systems ship:
+
+* :mod:`repro.trace.tracer` — ring-buffered :class:`TraceEvent` records
+  with monotonic simulated time, a category, and a key/value payload,
+  behind a :class:`Tracer` that is a strict no-op when disabled.
+* :mod:`repro.trace.metrics` — a :class:`MetricsRegistry` of named
+  counters, gauges and histograms accumulated alongside the events.
+* :mod:`repro.trace.export` — JSONL import/export and a Chrome
+  ``chrome://tracing`` / Perfetto-compatible export.
+* :mod:`repro.trace.timeline` — the human-readable event timeline and
+  metrics summary behind ``python -m repro trace``, plus the
+  trace-derived per-phase totals that cross-check
+  :meth:`SessionResult.breakdown`.
+
+Tracing is **off by default** (``SessionOptions.enable_tracing``); the
+disabled path shares a singleton :data:`NULL_TRACER` whose ``enabled``
+flag gates every instrumentation site, so benchmark numbers are
+bit-identical with tracing off.  The full event schema is documented in
+``docs/trace-schema.md``.
+"""
+
+from .tracer import (CATEGORIES, CORE_CATEGORIES, NULL_TRACER, NullTracer,
+                     TraceEvent, Tracer)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .export import (events_from_jsonl, events_to_chrome_json,
+                     events_to_jsonl, load_jsonl, write_chrome_trace,
+                     write_jsonl)
+from .timeline import (phase_totals, render_metrics, render_timeline,
+                       traffic_totals)
+
+__all__ = [
+    "CATEGORIES", "CORE_CATEGORIES", "NULL_TRACER", "NullTracer",
+    "TraceEvent", "Tracer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "events_from_jsonl", "events_to_chrome_json", "events_to_jsonl",
+    "load_jsonl", "write_chrome_trace", "write_jsonl",
+    "phase_totals", "render_metrics", "render_timeline", "traffic_totals",
+]

@@ -1,0 +1,100 @@
+"""Trace serialization: JSONL and Chrome-tracing exports.
+
+JSONL is the interchange format — one JSON object per line, stable keys
+(``t``, ``seq``, ``cat``, ``name``, ``dur``, ``args``), round-trippable
+via :func:`events_from_jsonl`.  The Chrome export produces the JSON
+array format understood by ``chrome://tracing`` and Perfetto's legacy
+loader: events with a modeled duration become complete (``"ph": "X"``)
+slices, instant events become ``"ph": "i"`` marks, with microsecond
+timestamps as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .tracer import TraceEvent
+
+# Chrome trace viewers group slices by (pid, tid); we map the runtime's
+# logical actors onto fixed "threads" of one simulated process.
+_CHROME_TRACKS: Dict[str, int] = {
+    "session": 0, "decision": 1, "estimate": 1, "offload": 2,
+    "uva": 3, "comm": 4, "rio": 5, "fnptr": 6,
+}
+
+
+def _track(category: str) -> int:
+    return _CHROME_TRACKS.get(category.split(".", 1)[0], 7)
+
+
+# -- JSONL ---------------------------------------------------------------
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events, one compact JSON object per line."""
+    return "\n".join(
+        json.dumps(e.to_dict(), separators=(",", ":"), sort_keys=True)
+        for e in events)
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse a JSONL trace back into :class:`TraceEvent` records."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write a JSONL trace file; returns the number of events written."""
+    events = list(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        text = events_to_jsonl(events)
+        if text:
+            fh.write(text + "\n")
+    return len(events)
+
+
+def load_jsonl(path: str) -> List[TraceEvent]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return events_from_jsonl(fh.read())
+
+
+# -- Chrome tracing ------------------------------------------------------
+def events_to_chrome_json(events: Iterable[TraceEvent],
+                          process_name: str = "repro offload session"
+                          ) -> str:
+    """Render events in the Chrome Trace Event JSON-array format."""
+    chrome: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for track_name, tid in sorted(_CHROME_TRACKS.items(),
+                                  key=lambda kv: kv[1]):
+        chrome.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": track_name}})
+    for event in events:
+        record = {
+            "name": f"{event.category}:{event.name}",
+            "cat": event.category,
+            "pid": 0,
+            "tid": _track(event.category),
+            "ts": event.t * 1e6,          # microseconds
+            "args": dict(event.payload, seq=event.seq),
+        }
+        if event.dur > 0:
+            record["ph"] = "X"
+            record["dur"] = event.dur * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"             # thread-scoped instant
+        chrome.append(record)
+    return json.dumps(chrome, separators=(",", ":"))
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str,
+                       process_name: str = "repro offload session") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_chrome_json(events, process_name))

@@ -1,0 +1,192 @@
+"""Human-readable trace rendering and trace-derived aggregates.
+
+``render_timeline`` prints the event stream the way edge-offloading
+simulators log their decision engines: one timestamped line per event
+with the load-bearing payload fields inlined.  ``phase_totals`` and
+``traffic_totals`` re-derive the session's per-phase time breakdown and
+byte accounting *from the events alone*, which is what makes the trace
+the single source of truth: ``tests/test_trace.py`` asserts these sums
+match :meth:`SessionResult.breakdown` and ``CommStats`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import TraceEvent
+
+# Payload keys promoted to the front of a timeline line, per category.
+_LEAD_KEYS: Dict[str, Sequence[str]] = {
+    "decision": ("offloaded", "reason", "gain_seconds"),
+    "estimate": ("gain_seconds", "t_mobile", "t_comm"),
+    "offload.init": ("prefetch_pages", "bytes_to_server"),
+    "offload.exec": ("instructions", "cod_faults"),
+    "offload.finalize": ("writeback_pages", "bytes_to_mobile"),
+    "uva.prefetch": ("pages", "bytes"),
+    "uva.fault": ("page", "bytes"),
+    "uva.writeback": ("pages", "bytes"),
+    "comm.send": ("payload_bytes", "wire_bytes", "saved_bytes"),
+    "comm.stream": ("payload_bytes", "wire_bytes"),
+    "comm.rtt": ("request_bytes", "response_bytes"),
+    "comm.adjust": ("delta_seconds",),
+    "rio.op": ("bytes",),
+    "fnptr.window": ("lookups", "seconds"),
+}
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e-3:
+            return f"{value:.6f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    return str(value)
+
+
+def _fmt_payload(event: TraceEvent) -> str:
+    lead = _LEAD_KEYS.get(event.category, ())
+    keys = [k for k in lead if k in event.payload]
+    keys += [k for k in sorted(event.payload) if k not in keys]
+    return " ".join(f"{k}={_fmt_value(event.payload[k])}" for k in keys)
+
+
+def format_event(event: TraceEvent) -> str:
+    """One timeline line: ``[t] category name (dur) key=value ...``."""
+    dur = f" +{event.dur * 1e3:.4f}ms" if event.dur > 0 else ""
+    detail = _fmt_payload(event)
+    return (f"[{event.t * 1e3:12.4f} ms] {event.category:<16s} "
+            f"{event.name:<20s}{dur}"
+            f"{('  ' + detail) if detail else ''}")
+
+
+def render_timeline(events: Iterable[TraceEvent],
+                    categories: Optional[Sequence[str]] = None,
+                    tail: Optional[int] = None) -> str:
+    """The full human-readable timeline, optionally filtered.
+
+    ``categories`` restricts output to the given event categories;
+    ``tail`` keeps only the last N lines (with an elision marker).
+    """
+    selected = [e for e in events
+                if categories is None or e.category in categories]
+    lines = [format_event(e) for e in selected]
+    if tail is not None and len(lines) > tail:
+        omitted = len(lines) - tail
+        lines = [f"... ({omitted} earlier events omitted; "
+                 f"use --jsonl for the full trace)"] + lines[-tail:]
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsRegistry) -> str:
+    """A grouped ``metric = value`` summary table."""
+    lines: List[str] = ["metrics"]
+    last_group = None
+    for name in metrics.names():
+        group = name.split(".", 1)[0]
+        if group != last_group:
+            lines.append(f"  [{group}]")
+            last_group = group
+        snap = metrics.snapshot()[name]
+        if snap["kind"] == "histogram":
+            lines.append(
+                f"    {name:<32s} count={snap['count']} "
+                f"sum={_fmt_value(snap['sum'])} "
+                f"mean={_fmt_value(snap['mean'])} "
+                f"min={_fmt_value(snap['min'])} "
+                f"max={_fmt_value(snap['max'])}")
+        else:
+            lines.append(f"    {name:<32s} {_fmt_value(snap['value'])}")
+    return "\n".join(lines)
+
+
+# -- trace-derived aggregates -------------------------------------------
+def phase_totals(events: Iterable[TraceEvent]) -> Dict[str, float]:
+    """Re-derive the Figure 7 phase breakdown from trace events.
+
+    Mirrors :meth:`SessionResult.breakdown` exactly:
+
+    * ``communication`` — every second the communication manager
+      charged: message sends, output streams, control round trips, plus
+      the signed pipelined-remote-input corrections (``comm.adjust``).
+    * ``remote_io`` — the forwarding cost of each ``rio.op``.
+    * ``fn_ptr_translation`` — the per-invocation ``fnptr.window`` sums.
+    * ``computation`` — mobile compute (from ``session.end``) plus raw
+      server execution time minus the fn-ptr time charged inside it,
+      clamped at zero like the session does.
+    """
+    comm = 0.0
+    rio = 0.0
+    fnptr = 0.0
+    server_raw = 0.0
+    mobile = 0.0
+    for event in events:
+        cat = event.category
+        if cat in ("comm.send", "comm.stream", "comm.rtt"):
+            comm += event.dur
+        elif cat == "comm.adjust":
+            comm += event.payload.get("delta_seconds", 0.0)
+        elif cat == "rio.op":
+            rio += event.dur
+        elif cat == "fnptr.window":
+            fnptr += event.payload.get("seconds", 0.0)
+        elif cat == "offload.exec":
+            server_raw += event.dur
+        elif cat == "session.end":
+            mobile = event.payload.get("mobile_compute_seconds", 0.0)
+    return {
+        "computation": mobile + max(server_raw - fnptr, 0.0),
+        "fn_ptr_translation": fnptr,
+        "remote_io": rio,
+        "communication": comm,
+    }
+
+
+def traffic_totals(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Re-derive the byte accounting from trace events.
+
+    Every payload byte crosses the communication manager exactly once,
+    so summing the comm-layer events reproduces ``CommStats``; the
+    UVA-layer numbers (prefetch / write-back / CoD) are *attributions*
+    of subsets of that same traffic, not additional bytes.  See
+    ``docs/trace-schema.md`` ("Byte accounting").
+    """
+    totals = {
+        "payload_bytes_to_server": 0, "payload_bytes_to_mobile": 0,
+        "wire_bytes_to_server": 0, "wire_bytes_to_mobile": 0,
+        "messages": 0, "compression_saved_bytes": 0,
+        "uva_prefetch_bytes": 0, "uva_writeback_bytes": 0,
+        "uva_cod_bytes": 0, "rio_bytes": 0,
+    }
+    for event in events:
+        p = event.payload
+        cat = event.category
+        if cat == "comm.send":
+            key = "server" if event.name == "to_server" else "mobile"
+            totals[f"payload_bytes_to_{key}"] += p.get("payload_bytes", 0)
+            totals[f"wire_bytes_to_{key}"] += p.get("wire_bytes", 0)
+            totals["messages"] += p.get("messages", 0)
+            totals["compression_saved_bytes"] += p.get("saved_bytes", 0)
+        elif cat == "comm.stream":
+            totals["payload_bytes_to_mobile"] += p.get("payload_bytes", 0)
+            totals["wire_bytes_to_mobile"] += p.get("wire_bytes", 0)
+            totals["messages"] += 1
+        elif cat == "comm.rtt":
+            totals["payload_bytes_to_server"] += p.get("request_bytes", 0)
+            totals["payload_bytes_to_mobile"] += p.get("response_bytes", 0)
+            totals["wire_bytes_to_server"] += p.get("wire_request_bytes", 0)
+            totals["wire_bytes_to_mobile"] += p.get("wire_response_bytes",
+                                                    0)
+            totals["messages"] += 2
+        elif cat == "uva.prefetch":
+            totals["uva_prefetch_bytes"] += p.get("bytes", 0)
+        elif cat == "uva.writeback":
+            totals["uva_writeback_bytes"] += p.get("bytes", 0)
+        elif cat == "uva.fault":
+            totals["uva_cod_bytes"] += p.get("bytes", 0)
+        elif cat == "rio.op":
+            totals["rio_bytes"] += p.get("bytes", 0)
+    return totals

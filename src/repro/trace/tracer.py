@@ -1,0 +1,174 @@
+"""The structured event tracer.
+
+A :class:`Tracer` collects :class:`TraceEvent` records into a bounded
+ring buffer.  Each event carries
+
+* ``t`` — the simulated mobile wall-clock time at emission (seconds).
+  The tracer clamps timestamps so the stored stream is monotonically
+  non-decreasing even if a clock source momentarily disagrees;
+* ``seq`` — a global sequence number that breaks ties between events
+  emitted at the same simulated instant (e.g. every copy-on-demand fault
+  during one server execution window carries the mobile timestamp at
+  which the mobile started waiting);
+* ``category`` — a dotted event type from :data:`CATEGORIES`
+  (``comm.send``, ``uva.fault``, ...), documented field-by-field in
+  ``docs/trace-schema.md``;
+* ``name`` — an event-specific label (offload target, remote-I/O
+  function, transfer direction);
+* ``dur`` — the modeled duration of the event in seconds (0 for instant
+  events);
+* ``payload`` — free-form key/value details.
+
+Overhead discipline: the runtime's hot paths guard every emission with
+``if tracer.enabled:``, and the disabled singleton :data:`NULL_TRACER`
+additionally turns ``emit`` into a no-op, so a session with tracing off
+performs exactly the arithmetic it performed before this subsystem
+existed (the tracing-disabled invariant recorded in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+
+DEFAULT_CAPACITY = 262_144
+
+# The full event vocabulary.  docs/trace-schema.md documents each
+# category's payload; tests assert the runtime never emits outside it.
+CATEGORIES = (
+    "session.start",      # one per OffloadSession.run()
+    "session.end",        # final accounting totals
+    "estimate",           # dynamic estimator: Equation 1 inputs/output
+    "decision",           # offload / decline, with the reason
+    "offload.init",       # initialization phase of one invocation
+    "offload.exec",       # server execution window of one invocation
+    "offload.finalize",   # finalization phase of one invocation
+    "uva.prefetch",       # likely-used page push at initialization
+    "uva.fault",          # one copy-on-demand page fault
+    "uva.writeback",      # dirty-page write-back at finalization
+    "comm.send",          # one batched/unbatched message transfer
+    "comm.stream",        # pipelined one-way output forwarding
+    "comm.rtt",           # a control round trip
+    "comm.adjust",        # pipelined remote-input timing correction
+    "rio.op",             # one forwarded remote I/O operation
+    "fnptr.window",       # fn-ptr translations of one invocation
+)
+
+# Categories every offloading run emits (workload-independent).  The
+# remainder depend on program structure: uva.fault needs CoD misses,
+# rio.op/comm.stream need server-side I/O, fnptr.window needs function
+# pointers, comm.adjust needs remote *input* (fread/fgets/fgetc/feof).
+CORE_CATEGORIES = (
+    "session.start", "session.end", "estimate", "decision",
+    "offload.init", "offload.exec", "offload.finalize",
+    "uva.prefetch", "uva.writeback", "comm.send",
+)
+
+
+@dataclass
+class TraceEvent:
+    """One structured runtime event."""
+
+    t: float                 # simulated seconds, monotonic within a trace
+    seq: int                 # global emission order (tie-break for t)
+    category: str
+    name: str
+    dur: float = 0.0         # modeled duration in seconds (0 = instant)
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"t": self.t, "seq": self.seq, "cat": self.category,
+                "name": self.name, "dur": self.dur, "args": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        return cls(t=float(data["t"]), seq=int(data["seq"]),
+                   category=str(data["cat"]), name=str(data["name"]),
+                   dur=float(data.get("dur", 0.0)),
+                   payload=dict(data.get("args", {})))
+
+
+class Tracer:
+    """Ring-buffered structured event sink with attached metrics."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._last_t = 0.0
+        self.dropped = 0      # events evicted by the ring buffer
+
+    # -- emission -------------------------------------------------------
+    def emit(self, category: str, name: str, t: Optional[float] = None,
+             dur: float = 0.0, **payload) -> Optional[TraceEvent]:
+        """Record one event, stamping it with the simulated clock.
+
+        Timestamps are clamped to be monotonically non-decreasing in
+        emission order; ``seq`` preserves the exact order for equal
+        timestamps.
+        """
+        if t is None:
+            t = self.clock()
+        if t < self._last_t:
+            t = self._last_t
+        self._last_t = t
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event = TraceEvent(t=t, seq=self._seq, category=category,
+                           name=name, dur=dur, payload=payload)
+        self._seq += 1
+        self._events.append(event)
+        return event
+
+    # -- access ---------------------------------------------------------
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def categories(self) -> List[str]:
+        return sorted({e.category for e in self._events})
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(list(self._events))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self._last_t = 0.0
+
+
+class NullTracer(Tracer):
+    """The disabled sink: ``enabled`` is False and ``emit`` is a no-op.
+
+    Instrumentation sites check ``tracer.enabled`` before doing any
+    payload computation; this class is the belt-and-braces second layer
+    that guarantees an unguarded emit still records nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1, metrics=NullMetricsRegistry())
+
+    def emit(self, category: str, name: str, t: Optional[float] = None,
+             dur: float = 0.0, **payload) -> Optional[TraceEvent]:
+        return None
+
+
+#: Shared disabled sink used wherever no tracer was provided.
+NULL_TRACER = NullTracer()
