@@ -22,7 +22,8 @@ from .eval import (evaluate_suite, figure6a_execution_time,
                    render_table3, render_table4, render_table5)
 from .offload import CompilerOptions, NativeOffloaderCompiler
 from .profiler import profile_module
-from .runtime import NETWORKS, OffloadSession, SessionOptions, run_local
+from .runtime import (FaultPlan, NETWORKS, OffloadSession, SessionOptions,
+                      run_local)
 from .trace import (phase_totals, render_metrics, render_timeline,
                     write_chrome_trace, write_jsonl)
 from .workloads import ALL_WORKLOADS, workload
@@ -58,6 +59,28 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _fault_plan(args):
+    """Build the FaultPlan the CLI flags describe (None when every fault
+    knob is at its default — the bit-identical fault-free path)."""
+    plan = FaultPlan(seed=args.seed,
+                     drop_rate=args.drop_rate,
+                     max_jitter_s=args.jitter,
+                     disconnect_after_messages=args.disconnect_after,
+                     disconnect_rate=args.disconnect_rate,
+                     reconnect_rate=args.reconnect_rate)
+    return None if plan.is_empty else plan
+
+
+def _print_fault_summary(result) -> None:
+    ts = result.transport_stats
+    print(f"  faults  : {ts.drops} drops, {ts.disconnects} disconnects, "
+          f"{ts.retries} retries, {ts.reconnects} reconnects, "
+          f"{ts.failed_deliveries} failed deliveries")
+    print(f"  fallback: {result.aborted_invocations} aborted invocations, "
+          f"{result.local_fallbacks} replayed locally, "
+          f"{result.wasted_seconds * 1e3:.2f} ms wasted on the link")
+
+
 def cmd_run(args) -> int:
     network = NETWORKS.get(args.network)
     if network is None:
@@ -67,11 +90,15 @@ def cmd_run(args) -> int:
     spec, module, profile, program = _compile(args.workload)
     local = run_local(module, stdin=spec.eval_stdin,
                       files=spec.eval_files)
-    session = OffloadSession(program, network, stdin=spec.eval_stdin,
+    plan = _fault_plan(args)
+    session = OffloadSession(program, network,
+                             options=SessionOptions(fault_plan=plan),
+                             stdin=spec.eval_stdin,
                              files=spec.eval_files)
     result = session.run()
     match = "identical" if result.stdout == local.stdout else "DIFFERENT"
-    print(f"{spec.name} over {network.name}")
+    print(f"{spec.name} over {network.name}"
+          + (f" (faulty link, seed {args.seed})" if plan else ""))
     print(f"  local   : {local.seconds * 1e3:9.2f} ms  "
           f"{local.energy_mj:9.1f} mJ")
     print(f"  offload : {result.total_seconds * 1e3:9.2f} ms  "
@@ -83,6 +110,8 @@ def cmd_run(args) -> int:
           f"{len(result.invocations)} invocations, "
           f"traffic {result.traffic_per_invocation_mb:.3f} MB/invocation, "
           f"output {match}")
+    if plan is not None:
+        _print_fault_summary(result)
     return 0 if match == "identical" else 1
 
 
@@ -95,8 +124,10 @@ def cmd_trace(args) -> int:
               f"available: {sorted(NETWORKS)}", file=sys.stderr)
         return 2
     spec, module, profile, program = _compile(args.workload)
+    plan = _fault_plan(args)
     options = SessionOptions(enable_tracing=True,
-                             trace_capacity=args.capacity)
+                             trace_capacity=args.capacity,
+                             fault_plan=plan)
     session = OffloadSession(program, network, options=options,
                              stdin=spec.eval_stdin, files=spec.eval_files)
     result = session.run()
@@ -119,6 +150,9 @@ def cmd_trace(args) -> int:
     for key in reported:
         print(f"  {key:<20s} {derived[key]:.9f} s   "
               f"{reported[key]:.9f} s")
+    print()
+    print("transport / fallback")
+    _print_fault_summary(result)
     if args.jsonl:
         count = write_jsonl(events, args.jsonl)
         print(f"wrote {count} events to {args.jsonl}")
@@ -162,6 +196,27 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _add_fault_args(p) -> None:
+    """Fault-injection knobs shared by the run/trace subcommands
+    (docs/fault-model.md).  All defaults keep the link perfect."""
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection RNG seed (deterministic)")
+    p.add_argument("--drop-rate", type=float, default=0.0,
+                   metavar="P", help="per-message transient loss "
+                   "probability (0..1)")
+    p.add_argument("--jitter", type=float, default=0.0, metavar="SECONDS",
+                   help="max uniform extra latency per delivery")
+    p.add_argument("--disconnect-after", type=int, default=None,
+                   metavar="N", help="hard-disconnect the link after N "
+                   "delivered messages")
+    p.add_argument("--disconnect-rate", type=float, default=0.0,
+                   metavar="P", help="per-message hard-disconnect "
+                   "probability (0..1)")
+    p.add_argument("--reconnect-rate", type=float, default=0.0,
+                   metavar="P", help="per-probe reconnect success "
+                   "probability (0..1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -180,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--network", default="802.11ac",
                    help=f"one of {sorted(NETWORKS)}")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("trace", help="offload one workload with "
@@ -198,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the timeline to these event categories")
     p.add_argument("--capacity", type=int, default=262_144,
                    help="trace ring-buffer capacity (events)")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("table", help="regenerate a paper table")

@@ -98,6 +98,55 @@ class IOEnvironment:
         f.closed = True
         return 0
 
+    # -- transactional snapshots ---------------------------------------
+    def snapshot(self) -> dict:
+        """Capture everything a remote-I/O burst can mutate: file
+        contents, open-handle cursors, stream buffers and counters.
+
+        The offload runtime snapshots the mobile environment before a
+        risky (fault-injected) invocation so a mid-invocation abort can
+        roll every observable effect back before the local replay
+        (docs/fault-model.md, "Fallback semantics").
+        """
+        files = {path: bytes(data) for path, data in self.files.items()}
+        handles = {}
+        for handle, f in self.open_files.items():
+            shared = f.data is self.files.get(f.path)
+            handles[handle] = (f.path, f.pos, f.writable, f.closed,
+                               shared, None if shared else bytes(f.data))
+        return {
+            "files": files,
+            "handles": handles,
+            "stdout_len": len(self.stdout),
+            "stderr_len": len(self.stderr),
+            "stdin_pos": self.stdin.tell(),
+            "next_handle": self._next_handle,
+            "stdout_ops": self.stdout_ops,
+            "file_ops": self.file_ops,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll back to a :meth:`snapshot` state."""
+        self.files = {path: bytearray(data)
+                      for path, data in snap["files"].items()}
+        self.open_files = {}
+        for handle, (path, pos, writable, closed, shared,
+                     detached) in snap["handles"].items():
+            if shared and path in self.files:
+                buffer = self.files[path]
+            else:
+                buffer = bytearray(detached or b"")
+            f = SimFile(path, buffer, writable)
+            f.pos = pos
+            f.closed = closed
+            self.open_files[handle] = f
+        del self.stdout[snap["stdout_len"]:]
+        del self.stderr[snap["stderr_len"]:]
+        self.stdin.seek(snap["stdin_pos"])
+        self._next_handle = snap["next_handle"]
+        self.stdout_ops = snap["stdout_ops"]
+        self.file_ops = snap["file_ops"]
+
     # -- standard streams ---------------------------------------------------
     def write_stdout(self, data: bytes) -> None:
         self.stdout_ops += 1

@@ -1,8 +1,11 @@
 """The Native Offloader runtime: UVA sharing, communication, dynamic
 estimation and the offload session life cycle (paper, Section 4)."""
 
-from .network import (CLOUD_WAN, FAST_WIFI, IDEAL_NETWORK, NETWORKS,
+from .network import (CLOUD_WAN, FAST_WIFI, FaultPlan, IDEAL_NETWORK,
+                      Link, LinkAttempt, NETWORKS, NO_FAULTS,
                       NetworkModel, SLOW_WIFI)
+from .transport import (LinkDownError, RetryPolicy, Transport,
+                        TransportError, TransportStats)
 from .comm import (CommStats, CommunicationManager, TransferResult,
                    COMPRESS_CYCLES_PER_BYTE, DECOMPRESS_CYCLES_PER_BYTE,
                    MESSAGE_HEADER_BYTES)
@@ -19,6 +22,9 @@ from .local import LocalRunResult, run_local
 __all__ = [
     "CLOUD_WAN", "FAST_WIFI", "IDEAL_NETWORK", "NETWORKS",
     "NetworkModel", "SLOW_WIFI",
+    "FaultPlan", "Link", "LinkAttempt", "NO_FAULTS",
+    "LinkDownError", "RetryPolicy", "Transport", "TransportError",
+    "TransportStats",
     "BandwidthPredictor", "PredictionRecord",
     "CommStats", "CommunicationManager", "TransferResult",
     "COMPRESS_CYCLES_PER_BYTE", "DECOMPRESS_CYCLES_PER_BYTE",

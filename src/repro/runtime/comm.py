@@ -7,6 +7,15 @@ payloads with a real codec (zlib).  Compression is applied only in the
 server-to-mobile direction, exactly as in the paper: compressing on the
 slow mobile CPU would cost more than it saves, while mobile-side
 *decompression* is cheap.
+
+The manager is the top of the layered communication stack
+(docs/fault-model.md): it frames and shapes traffic, then hands every
+message to a :class:`repro.runtime.transport.Transport` for delivery.
+When the transport declares the link dead mid-delivery
+(:class:`repro.runtime.transport.LinkDownError`), the manager charges the
+burned time to ``stats.comm_seconds`` — the timeline must reflect every
+simulated second, including failed ones — and re-raises so the session
+can abort the invocation and fall back to local execution.
 """
 
 from __future__ import annotations
@@ -16,12 +25,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..trace import NULL_TRACER, Tracer
-from .network import NetworkModel
+from .network import FaultPlan, Link, MESSAGE_HEADER_BYTES, NetworkModel
+from .transport import LinkDownError, RetryPolicy, Transport
 
 # Cost model for the codec itself (cycles per byte on the executing core).
 COMPRESS_CYCLES_PER_BYTE = 12.0     # server-side deflate
 DECOMPRESS_CYCLES_PER_BYTE = 3.0    # mobile-side inflate
-MESSAGE_HEADER_BYTES = 64           # per-message protocol overhead
 PER_ITEM_HEADER_BYTES = 16          # per-batched-item framing
 STREAM_OP_OVERHEAD_S = 25e-6        # per-op cost of pipelined output I/O
 
@@ -55,13 +64,20 @@ class CommunicationManager:
                  enable_compression: bool = True,
                  server_clock_hz: float = 3.6e9,
                  mobile_clock_hz: float = 2.5e9,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 transport: Optional[Transport] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.network = network
         self.enable_batching = enable_batching
         self.enable_compression = enable_compression
         self.server_clock_hz = server_clock_hz
         self.mobile_clock_hz = mobile_clock_hz
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if transport is None:
+            transport = Transport(Link(network, fault_plan),
+                                  policy=retry_policy, tracer=self.tracer)
+        self.transport = transport
         self.stats = CommStats()
         self._active_batch = None  # (to_server, payload list) or None
 
@@ -81,6 +97,11 @@ class CommunicationManager:
         if not payloads:
             return TransferResult(0.0, 0, 0)
         return self._send(payloads, to_server=to_server)
+
+    def discard_batch(self) -> None:
+        """Drop an open batching window without transmitting — the abort
+        path of a failed invocation."""
+        self._active_batch = None
 
     # -- mobile -> server -------------------------------------------------
     def send_to_server(self, payloads: List[bytes]) -> TransferResult:
@@ -103,6 +124,7 @@ class CommunicationManager:
             self._active_batch[1].extend(payloads)
             return TransferResult(0.0, 0, sum(len(p) for p in payloads))
         payload_bytes = sum(len(p) for p in payloads)
+        direction = "to_server" if to_server else "to_mobile"
         groups: List[List[bytes]] = (
             [payloads] if self.enable_batching else [[p] for p in payloads])
         seconds = 0.0
@@ -111,8 +133,6 @@ class CommunicationManager:
         compression_seconds = 0.0
         for group in groups:
             raw = b"".join(group)
-            framing = (MESSAGE_HEADER_BYTES
-                       + PER_ITEM_HEADER_BYTES * len(group))
             if not to_server and self.enable_compression and len(raw) >= 128:
                 compressed = zlib.compress(raw, 1)
                 if len(compressed) < len(raw):
@@ -128,9 +148,18 @@ class CommunicationManager:
                     compression_seconds += comp_secs
                     seconds += comp_secs
                     raw = compressed
-            wire = len(raw) + framing
-            seconds += self.network.one_way_time(wire)
-            wire_total += wire
+            # The message body: compressed payload plus per-item framing.
+            # The per-message header is charged by the network time model
+            # itself (NetworkModel.header_bytes) and added back into the
+            # wire-byte accounting below.
+            body = len(raw) + PER_ITEM_HEADER_BYTES * len(group)
+            try:
+                seconds += self.transport.deliver(body, direction)
+            except LinkDownError as err:
+                self._charge_failure(seconds + err.elapsed_seconds,
+                                     direction, payload_bytes)
+                raise
+            wire_total += body + MESSAGE_HEADER_BYTES
             self.stats.messages += 1
         if to_server:
             self.stats.bytes_to_server += payload_bytes
@@ -141,7 +170,6 @@ class CommunicationManager:
         self.stats.comm_seconds += seconds
         tracer = self.tracer
         if tracer.enabled:
-            direction = "to_server" if to_server else "to_mobile"
             tracer.emit("comm.send", direction, dur=seconds,
                         payload_bytes=payload_bytes, wire_bytes=wire_total,
                         items=len(payloads), messages=len(groups),
@@ -166,14 +194,19 @@ class CommunicationManager:
         without batching every operation pays the full message latency —
         this is exactly the overhead the runtime's batching amortizes.
         """
-        if self.enable_batching:
-            seconds = (STREAM_OP_OVERHEAD_S
-                       + len(payload) / self.network.bandwidth_bytes_per_s)
-            wire = len(payload) + PER_ITEM_HEADER_BYTES
-        else:
-            seconds = self.network.one_way_time(
-                len(payload) + MESSAGE_HEADER_BYTES)
-            wire = len(payload) + MESSAGE_HEADER_BYTES
+        try:
+            if self.enable_batching:
+                seconds = self.transport.deliver(
+                    len(payload), "to_mobile", pipelined=True,
+                    overhead_s=STREAM_OP_OVERHEAD_S)
+                wire = len(payload) + PER_ITEM_HEADER_BYTES
+            else:
+                seconds = self.transport.deliver(len(payload), "to_mobile")
+                wire = len(payload) + MESSAGE_HEADER_BYTES
+        except LinkDownError as err:
+            self._charge_failure(err.elapsed_seconds, "to_mobile",
+                                 len(payload))
+            raise
         self.stats.messages += 1
         self.stats.bytes_to_mobile += len(payload)
         self.stats.wire_bytes_to_mobile += wire
@@ -193,9 +226,14 @@ class CommunicationManager:
     def round_trip(self, request_bytes: int,
                    response_bytes: int) -> TransferResult:
         """A small control round trip (offload request, remote input)."""
-        seconds = self.network.round_trip_time(
-            request_bytes + MESSAGE_HEADER_BYTES,
-            response_bytes + MESSAGE_HEADER_BYTES)
+        seconds = 0.0
+        try:
+            seconds += self.transport.deliver(request_bytes, "to_server")
+            seconds += self.transport.deliver(response_bytes, "to_mobile")
+        except LinkDownError as err:
+            self._charge_failure(seconds + err.elapsed_seconds, "control",
+                                 request_bytes + response_bytes)
+            raise
         self.stats.messages += 2
         self.stats.bytes_to_server += request_bytes
         self.stats.bytes_to_mobile += response_bytes
@@ -228,6 +266,22 @@ class CommunicationManager:
                               request_bytes + response_bytes
                               + 2 * MESSAGE_HEADER_BYTES,
                               request_bytes + response_bytes)
+
+    def _charge_failure(self, seconds: float, direction: str,
+                        payload_bytes: int) -> None:
+        """Account a failed delivery: the simulated time burned on
+        retries, timeouts and backoff is real wall-clock time for the
+        mobile device even though no payload arrived."""
+        self.stats.comm_seconds += seconds
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("comm.send", direction, dur=seconds,
+                        payload_bytes=payload_bytes, wire_bytes=0,
+                        items=0, messages=0, saved_bytes=0,
+                        compression_seconds=0.0, failed=True)
+            metrics = tracer.metrics
+            metrics.counter("comm.failed_sends").inc()
+            metrics.counter("time.comm_seconds").inc(seconds)
 
     def adjust_seconds(self, delta: float, reason: str = "adjust") -> None:
         """Apply a signed correction to the accumulated communication

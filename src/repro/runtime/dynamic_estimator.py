@@ -17,6 +17,11 @@ from ..profiler.profile_data import ProfileData
 from ..trace import NULL_TRACER, Tracer
 from .network import NetworkModel
 from .prediction import BandwidthPredictor
+from .transport import Transport
+
+# After an aborted invocation the target sits out at most this many
+# decisions, however many failures it has accumulated.
+MAX_FAILURE_COOLDOWN = 8
 
 
 @dataclass
@@ -27,6 +32,10 @@ class TargetRuntimeState:
     observed_traffic_bytes: Optional[float] = None
     decisions: int = 0
     offloads: int = 0
+    # Link-failure awareness: aborted invocations put the target on an
+    # exponentially growing decision cooldown (see record_offload_failure).
+    failures: int = 0
+    cooldown: int = 0
 
 
 @dataclass
@@ -49,7 +58,8 @@ class DynamicPerformanceEstimator:
                  performance_ratio: float,
                  network: NetworkModel,
                  predictor: Optional[BandwidthPredictor] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 transport: Optional[Transport] = None):
         self.profile = profile
         self.performance_ratio = performance_ratio
         self.network = network
@@ -58,8 +68,13 @@ class DynamicPerformanceEstimator:
         # instead of its nominal rate.
         self.predictor = predictor
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Failure awareness: when the transport reports the link dead
+        # with no prospect of reconnecting, every decision is a decline —
+        # Equation 1 is moot on a link that cannot carry the traffic.
+        self.transport = transport
         self.state: Dict[str, TargetRuntimeState] = {}
         self.last_estimate: Optional[GainEstimate] = None
+        self.last_reason: Optional[str] = None
 
     def _state(self, name: str) -> TargetRuntimeState:
         return self.state.setdefault(name, TargetRuntimeState())
@@ -70,11 +85,26 @@ class DynamicPerformanceEstimator:
 
     def record_offload_traffic(self, name: str, bytes_moved: float) -> None:
         state = self._state(name)
+        # A completed offload proves the link carries traffic again.
+        state.failures = 0
+        state.cooldown = 0
         if state.observed_traffic_bytes is None:
             state.observed_traffic_bytes = bytes_moved
         else:  # exponential smoothing across invocations
             state.observed_traffic_bytes = (
                 0.5 * state.observed_traffic_bytes + 0.5 * bytes_moved)
+
+    def record_offload_failure(self, name: str) -> None:
+        """An invocation of this target aborted on a dead link; sit out
+        an exponentially growing number of decisions before retrying."""
+        state = self._state(name)
+        state.failures += 1
+        state.cooldown = min(2 ** (state.failures - 1),
+                             MAX_FAILURE_COOLDOWN)
+        if self.tracer.enabled:
+            self.tracer.emit("estimate", name, gain_seconds=None,
+                             failure_cooldown=state.cooldown,
+                             failures=state.failures)
 
     # -- the decision -------------------------------------------------
     def estimate(self, target: OffloadTarget) -> GainEstimate:
@@ -109,6 +139,15 @@ class DynamicPerformanceEstimator:
     def should_offload(self, target: OffloadTarget) -> bool:
         state = self._state(target.name)
         state.decisions += 1
+        if self.transport is not None and not self.transport.usable:
+            self.last_estimate = None
+            self.last_reason = "link_down"
+            return False
+        if state.cooldown > 0:
+            state.cooldown -= 1
+            self.last_estimate = None
+            self.last_reason = "failure_backoff"
+            return False
         est = self.estimate(target)
         self.last_estimate = est
         if self.tracer.enabled:
@@ -121,5 +160,7 @@ class DynamicPerformanceEstimator:
                 observed_traffic=est.observed_traffic)
         if est.gain > 0:
             state.offloads += 1
+            self.last_reason = "positive_gain"
             return True
+        self.last_reason = "negative_gain"
         return False

@@ -1,15 +1,33 @@
-"""Wireless network models.
+"""Wireless network models and the raw link medium.
 
 The paper evaluates under two Wi-Fi environments: a slow 802.11n link
 (144 Mbps nominal) and a fast 802.11ac link (844 Mbps nominal).  Effective
 throughput of real Wi-Fi is well below nominal; the models below use
 effective rates consistent with the paper's estimator example (80 Mbps for
 the slow network, Table 3).
+
+Two layers live here (docs/fault-model.md):
+
+* :class:`NetworkModel` — the closed-form time model of one message on a
+  healthy link.  Every message pays the link latency plus serialization
+  of its payload *and* ``header_bytes`` of protocol framing, so a
+  zero-byte message is not free.
+* :class:`Link` — the raw simulated medium used by
+  :class:`repro.runtime.transport.Transport`: a :class:`NetworkModel`
+  plus an optional seeded :class:`FaultPlan` injecting latency jitter,
+  transient drops, hard disconnects and bandwidth collapse.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from typing import Optional
+
+# Per-message protocol overhead.  Lives here (the medium) so that the
+# time model and the wire-byte accounting of the communication manager
+# agree on a single constant; re-exported by :mod:`repro.runtime.comm`.
+MESSAGE_HEADER_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -20,19 +38,185 @@ class NetworkModel:
     bandwidth_bps: float     # effective payload bandwidth, bits/second
     latency_s: float         # one-way latency per message
     slow: bool = False       # drives the transmit-power model (Fig. 8)
+    header_bytes: int = MESSAGE_HEADER_BYTES  # per-message framing
 
     @property
     def bandwidth_bytes_per_s(self) -> float:
         return self.bandwidth_bps / 8.0
 
     def one_way_time(self, payload_bytes: int) -> float:
-        """Latency + serialization for one message."""
-        return self.latency_s + payload_bytes / self.bandwidth_bytes_per_s
+        """Latency + serialization for one message.
+
+        Every message — including a zero-byte one — pays the link
+        latency plus the serialization of ``header_bytes`` of protocol
+        framing: ``one_way_time(0) > latency_s`` on any finite link.
+        """
+        return (self.latency_s
+                + (payload_bytes + self.header_bytes)
+                / self.bandwidth_bytes_per_s)
 
     def round_trip_time(self, request_bytes: int,
                         response_bytes: int) -> float:
+        """Two messages, one each way; agrees with :meth:`one_way_time`
+        (each direction pays its own latency and header)."""
         return (self.one_way_time(request_bytes)
                 + self.one_way_time(response_bytes))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of link-level faults.
+
+    All stochastic faults are driven by one ``random.Random(seed)``
+    advanced per transmission attempt, so a (plan, message sequence)
+    pair always reproduces the same fault schedule.  An empty plan (the
+    default) is a strict no-op: the link's timing is bit-identical to
+    the plain :class:`NetworkModel` formula.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0            # P(one attempt is silently lost)
+    max_jitter_s: float = 0.0         # uniform extra latency [0, max)
+    disconnect_after_messages: Optional[int] = None  # hard kill point
+    disconnect_rate: float = 0.0      # P(one attempt kills the link)
+    reconnect_rate: float = 0.0       # P(one reconnect attempt succeeds)
+    bandwidth_factor: float = 1.0     # <1.0 models bandwidth collapse
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "disconnect_rate", "reconnect_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.max_jitter_s < 0.0:
+            raise ValueError("max_jitter_s must be nonnegative")
+        if self.bandwidth_factor <= 0.0:
+            raise ValueError("bandwidth_factor must be positive")
+        if (self.disconnect_after_messages is not None
+                and self.disconnect_after_messages < 0):
+            raise ValueError("disconnect_after_messages must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (self.drop_rate == 0.0
+                and self.max_jitter_s == 0.0
+                and self.disconnect_after_messages is None
+                and self.disconnect_rate == 0.0
+                and self.bandwidth_factor == 1.0)
+
+
+NO_FAULTS = FaultPlan()
+
+
+@dataclass(frozen=True)
+class LinkAttempt:
+    """The outcome of one transmission attempt on the raw medium."""
+
+    delivered: bool
+    seconds: float            # modeled medium time (0 when nothing moved)
+    disconnected: bool = False
+
+
+class Link:
+    """The raw simulated medium: one :class:`NetworkModel` plus an
+    optional :class:`FaultPlan`.
+
+    The link is *dumb*: it transmits, drops, jitters or dies, and it
+    never retries — reliability is the transport layer's job
+    (:class:`repro.runtime.transport.Transport`).
+    """
+
+    def __init__(self, network: NetworkModel,
+                 plan: Optional[FaultPlan] = None):
+        self.network = network
+        self.plan = plan if plan is not None and not plan.is_empty else None
+        self._rng = (random.Random(self.plan.seed)
+                     if self.plan is not None else None)
+        self.alive = True
+        self.attempts = 0
+        self.disconnects = 0
+
+    @property
+    def faultless(self) -> bool:
+        return self.plan is None
+
+    def expected_time(self, payload_bytes: int,
+                      pipelined: bool = False,
+                      overhead_s: float = 0.0) -> float:
+        """The fault-free time of one attempt at the link's *current*
+        effective bandwidth — what the transport sizes timeouts from."""
+        net = self.network
+        factor = self.plan.bandwidth_factor if self.plan is not None else 1.0
+        if pipelined:
+            return (overhead_s + payload_bytes
+                    / (net.bandwidth_bytes_per_s * factor))
+        if factor == 1.0:
+            return net.one_way_time(payload_bytes)
+        return (net.latency_s + (payload_bytes + net.header_bytes)
+                / (net.bandwidth_bytes_per_s * factor))
+
+    def transmit(self, payload_bytes: int, pipelined: bool = False,
+                 overhead_s: float = 0.0) -> LinkAttempt:
+        """One transmission attempt.
+
+        ``pipelined`` models an operation riding an established stream:
+        no per-message latency or header, just a small fixed overhead —
+        exactly the batched-output formula of the communication manager.
+        """
+        net = self.network
+        if self.plan is None:
+            if pipelined:
+                return LinkAttempt(
+                    True, overhead_s
+                    + payload_bytes / net.bandwidth_bytes_per_s)
+            return LinkAttempt(True, net.one_way_time(payload_bytes))
+        if not self.alive:
+            return LinkAttempt(False, 0.0, disconnected=True)
+        plan, rng = self.plan, self._rng
+        self.attempts += 1
+        if (plan.disconnect_after_messages is not None
+                and self.attempts > plan.disconnect_after_messages):
+            return self._kill()
+        if plan.disconnect_rate and rng.random() < plan.disconnect_rate:
+            return self._kill()
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            return LinkAttempt(False, 0.0)
+        jitter = (rng.random() * plan.max_jitter_s
+                  if plan.max_jitter_s else 0.0)
+        bandwidth = net.bandwidth_bytes_per_s * plan.bandwidth_factor
+        if pipelined:
+            seconds = overhead_s + jitter + payload_bytes / bandwidth
+        else:
+            seconds = (net.latency_s + jitter
+                       + (payload_bytes + net.header_bytes) / bandwidth)
+        return LinkAttempt(True, seconds)
+
+    def _kill(self) -> LinkAttempt:
+        self.alive = False
+        self.disconnects += 1
+        return LinkAttempt(False, 0.0, disconnected=True)
+
+    def try_reconnect(self) -> bool:
+        """One reconnect attempt; seeded like every other fault draw."""
+        if self.alive:
+            return True
+        if not self.can_reconnect:
+            return False
+        if self._rng.random() < self.plan.reconnect_rate:
+            self.alive = True
+            return True
+        return False
+
+    @property
+    def can_reconnect(self) -> bool:
+        """Whether a dead link could ever come back: a reconnect rate is
+        configured and the hard kill point has not been passed."""
+        if self.plan is None or self.plan.reconnect_rate <= 0.0:
+            return False
+        if (self.plan.disconnect_after_messages is not None
+                and self.attempts > self.plan.disconnect_after_messages):
+            return False
+        return True
 
 
 # 802.11n: 144 Mbps nominal -> ~80 Mbps effective (the paper's Table 3

@@ -31,7 +31,9 @@ from ..offload.unify import unified_data_layout
 from ..runtime.comm import CommunicationManager
 from ..runtime.dynamic_estimator import DynamicPerformanceEstimator
 from ..runtime.fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES)
-from ..runtime.network import NetworkModel
+from ..runtime.network import FaultPlan, NetworkModel
+from ..runtime.transport import (LinkDownError, RetryPolicy,
+                                 TransportStats)
 from ..runtime.uva import UVAManager
 from ..trace import NULL_TRACER, Tracer
 from ..trace.tracer import DEFAULT_CAPACITY as TRACE_DEFAULT_CAPACITY
@@ -62,6 +64,14 @@ class SessionOptions:
     # tracing-disabled invariant; see docs/observability.md).
     enable_tracing: bool = False
     trace_capacity: int = TRACE_DEFAULT_CAPACITY
+    # Link fault injection (docs/fault-model.md): a seeded FaultPlan
+    # turns the perfect simulated link into one with jitter, drops,
+    # disconnects and bandwidth collapse.  None (or an empty plan) keeps
+    # every session number bit-identical to the fault-free runtime — the
+    # zero-fault no-op invariant of DESIGN.md §5.
+    fault_plan: Optional[FaultPlan] = None
+    # Transport retry/backoff/reconnect budget; None uses the defaults.
+    retry_policy: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -80,6 +90,14 @@ class InvocationRecord:
     bytes_to_mobile: int = 0
     cod_faults: int = 0
     local_seconds: float = 0.0
+    # Mid-invocation failure accounting: an aborted invocation burned
+    # `wasted_seconds` on the dead link in `abort_phase`
+    # (init/exec/finalize), then replayed the target locally
+    # (`fallback_local`).
+    aborted: bool = False
+    abort_phase: Optional[str] = None
+    fallback_local: bool = False
+    wasted_seconds: float = 0.0
 
     @property
     def traffic_bytes(self) -> int:
@@ -111,6 +129,9 @@ class SessionResult:
     # (None otherwise); carries the event ring buffer and the metrics
     # registry.  See docs/observability.md.
     trace: Optional[Tracer] = None
+    # Transport-layer counters (retries, drops, reconnects, backoff);
+    # all zeros on a fault-free link.
+    transport_stats: Optional[TransportStats] = None
 
     def trace_events(self):
         """The captured trace events ([] when tracing was disabled)."""
@@ -122,7 +143,24 @@ class SessionResult:
 
     @property
     def declined_invocations(self) -> int:
-        return sum(1 for r in self.invocations if not r.offloaded)
+        return sum(1 for r in self.invocations
+                   if not r.offloaded and not r.aborted)
+
+    @property
+    def aborted_invocations(self) -> int:
+        """Invocations that started offloading but lost the link."""
+        return sum(1 for r in self.invocations if r.aborted)
+
+    @property
+    def local_fallbacks(self) -> int:
+        """Aborted invocations replayed locally (all of them, unless the
+        abort itself failed — which would have raised)."""
+        return sum(1 for r in self.invocations if r.fallback_local)
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Simulated time burned on deliveries that never completed."""
+        return sum(r.wasted_seconds for r in self.invocations)
 
     def breakdown(self) -> Dict[str, float]:
         """The Figure 7 stack: computation / fn-ptr / remote I/O / comm."""
@@ -209,7 +247,15 @@ class OffloadSession:
             enable_compression=opts.enable_compression,
             server_clock_hz=server_arch.clock_hz,
             mobile_clock_hz=mobile_arch.clock_hz,
-            tracer=self.tracer)
+            tracer=self.tracer,
+            fault_plan=opts.fault_plan,
+            retry_policy=opts.retry_policy)
+        # Snapshot/rollback machinery only engages on a faulty link; the
+        # fault-free path must stay bit-identical to the pre-fault runtime
+        # (the zero-fault no-op invariant, DESIGN.md §5).
+        self._faulty = (opts.fault_plan is not None
+                        and not opts.fault_plan.is_empty)
+        self._replay_instructions = 0
         self.uva = UVAManager(self.mobile, self.server, self.comm,
                               enable_prefetch=opts.enable_prefetch,
                               enable_copy_on_demand=opts.enable_copy_on_demand,
@@ -220,7 +266,8 @@ class OffloadSession:
                           if opts.enable_bandwidth_prediction else None)
         self.estimator = DynamicPerformanceEstimator(
             program.profile, program.options.resolved_ratio(), network,
-            predictor=self.predictor, tracer=self.tracer)
+            predictor=self.predictor, tracer=self.tracer,
+            transport=self.comm.transport)
         self.meter = EnergyMeter(opts.power_mw)
 
         # Timeline bookkeeping (see _advance / _mark_compute).
@@ -266,7 +313,8 @@ class OffloadSession:
                     remote_io_seconds=self.remote_io_seconds,
                     fnptr_seconds=self.fnptr_seconds,
                     energy_mj=trace.total_energy_mj,
-                    instructions_mobile=interp.instruction_count,
+                    instructions_mobile=(interp.instruction_count
+                                         + self._replay_instructions),
                     instructions_server=self.server_instructions)
             metrics = tr.metrics
             metrics.gauge("session.total_seconds").set(total)
@@ -293,13 +341,15 @@ class OffloadSession:
             energy_mj=trace.total_energy_mj,
             power_trace=trace,
             invocations=self.invocations,
-            instructions_mobile=interp.instruction_count,
+            instructions_mobile=(interp.instruction_count
+                                 + self._replay_instructions),
             instructions_server=self.server_instructions,
             cod_faults=self.uva.stats.cod_faults,
             bytes_to_server=self.comm.stats.bytes_to_server,
             bytes_to_mobile=self.comm.stats.bytes_to_mobile,
             compression_saved_bytes=self.comm.stats.compression_saved_bytes,
             trace=tr if tr.enabled else None,
+            transport_stats=self.comm.transport.stats,
         )
 
     def now(self) -> float:
@@ -360,7 +410,8 @@ class OffloadSession:
             decision, reason = True, "estimation_disabled"
         else:
             decision = self.estimator.should_offload(target)
-            reason = "positive_gain" if decision else "negative_gain"
+            reason = self.estimator.last_reason or (
+                "positive_gain" if decision else "negative_gain")
         if not decision:
             self.invocations.append(
                 InvocationRecord(target=target.name, offloaded=False))
@@ -570,6 +621,12 @@ class OffloadSession:
         bytes_s0 = comm_before.bytes_to_server
         bytes_m0 = comm_before.bytes_to_mobile
         faults0 = self.uva.stats.cod_faults
+        # Observable-state snapshot for abort-and-replay: remote I/O
+        # mutates the mobile environment mid-execution, so a failed
+        # invocation must roll those effects back before the local replay.
+        # Only taken on a faulty link — the fault-free path does no extra
+        # work (the zero-fault no-op invariant).
+        io_snapshot = self.mobile.io.snapshot() if self._faulty else None
         if tr.enabled:
             prefetch_pages0 = self.uva.stats.prefetched_pages
             fnptr_seconds0 = self.fnptr_seconds
@@ -580,17 +637,24 @@ class OffloadSession:
         # ---- initialization (Figure 5) --------------------------------
         # One batched message carries the offload request, the page table,
         # the allocator state and the prefetched pages.
+        comm_phase0 = self.comm.stats.comm_seconds
         self.comm.begin_batch(to_server=True)
-        init_seconds = self.uva.synchronize_page_table()
-        init_seconds += self.uva.push_allocator_state()
-        if opts.enable_prefetch:
-            init_seconds += self.uva.prefetch(
-                self._prefetch_pages(target.name, interp.sp))
-        # offload request: target id, stack pointer, argument registers
-        request = 32 + 16 * len(args)
-        init_seconds += self.comm.send_to_server(
-            [b"\x00" * request]).seconds
-        init_seconds += self.comm.flush_batch().seconds
+        try:
+            init_seconds = self.uva.synchronize_page_table()
+            init_seconds += self.uva.push_allocator_state()
+            if opts.enable_prefetch:
+                init_seconds += self.uva.prefetch(
+                    self._prefetch_pages(target.name, interp.sp))
+            # offload request: target id, stack pointer, argument registers
+            request = 32 + 16 * len(args)
+            init_seconds += self.comm.send_to_server(
+                [b"\x00" * request]).seconds
+            init_seconds += self.comm.flush_batch().seconds
+        except LinkDownError:
+            return self._abort_offload(
+                target, interp, args, record, "init",
+                self.comm.stats.comm_seconds - comm_phase0,
+                "transmit", io_snapshot)
         if zero:
             init_seconds = 0.0
         record.init_seconds = init_seconds
@@ -615,8 +679,27 @@ class OffloadSession:
         rio0 = self._rio_pending
         self._rio_pending = 0.0
         cod0 = self.uva.stats.cod_seconds
+        comm_phase0 = self.comm.stats.comm_seconds
         fn = self.server.module.function(target.name)
-        result = server_interp.call_function(fn, args)
+        try:
+            result = server_interp.call_function(fn, args)
+        except LinkDownError:
+            # A CoD fault or remote I/O burst hit a dead link while the
+            # server was computing.  The partial server work is real wall
+            # time the mobile device waited through; charge it, then
+            # abort and replay.
+            self._current_server_interp = None
+            self._rio_pending = rio0
+            partial = server_interp.time_seconds
+            record.server_seconds = partial
+            self.server_instructions += server_interp.instruction_count
+            self.server_compute_seconds += partial
+            if not zero:
+                self._advance(partial, "wait")
+            return self._abort_offload(
+                target, interp, args, record, "exec",
+                self.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot)
         self._current_server_interp = None
         cod_seconds = 0.0 if zero else self.uva.stats.cod_seconds - cod0
         rio_seconds = self._rio_pending
@@ -650,11 +733,23 @@ class OffloadSession:
         # ---- finalization ----------------------------------------------
         # One batched, compressed message carries the termination signal,
         # the return value, the dirty pages and the allocator state.
+        # Transactional: the dirty pages and allocator state are staged
+        # (defer_commit) and applied only after the whole message survives
+        # the transport — a mid-finalize link death leaves mobile memory
+        # untouched (abort-and-replay invariant, DESIGN.md §5).
+        comm_phase0 = self.comm.stats.comm_seconds
         self.comm.begin_batch(to_server=False)
-        fin_seconds, _ = self.uva.write_back()
-        fin_seconds += self.uva.pull_allocator_state()
-        fin_seconds += self.comm.send_to_mobile([b"\x00" * 64]).seconds
-        fin_seconds += self.comm.flush_batch().seconds
+        try:
+            fin_seconds, _ = self.uva.write_back(defer_commit=True)
+            fin_seconds += self.uva.pull_allocator_state(defer_commit=True)
+            fin_seconds += self.comm.send_to_mobile([b"\x00" * 64]).seconds
+            fin_seconds += self.comm.flush_batch().seconds
+        except LinkDownError:
+            return self._abort_offload(
+                target, interp, args, record, "finalize",
+                self.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot)
+        self.uva.commit_finalize()
         if zero:
             fin_seconds = 0.0
         record.finalize_seconds = fin_seconds
@@ -685,4 +780,67 @@ class OffloadSession:
         self.invocations.append(record)
         self.estimator.record_offload_traffic(
             target.name, record.traffic_bytes)
+        return result
+
+    # -- mid-invocation failure: abort and replay locally ----------------
+    def _abort_offload(self, target: OffloadTarget, interp: Interpreter,
+                       args: List, record: InvocationRecord, phase: str,
+                       wasted_seconds: float, power_state: str,
+                       io_snapshot: Optional[dict]):
+        """The transport declared the link dead mid-invocation: discard
+        every server-side effect, roll the mobile environment back to its
+        pre-invocation state, charge the wasted wall time and replay the
+        target locally (docs/fault-model.md, "Fallback semantics")."""
+        record.offloaded = False
+        record.aborted = True
+        record.abort_phase = phase
+        record.wasted_seconds = wasted_seconds
+        self._current_server_interp = None
+        self.comm.discard_batch()
+        self.uva.abort_invocation()
+        if io_snapshot is not None:
+            self.mobile.io.restore(io_snapshot)
+        if not self.options.zero_overhead:
+            # "transmit" has no flat power figure: its draw scales with
+            # link utilization, exactly as on the successful init path.
+            power_mw = (self.meter.transmit_power(0.9, self.network.slow)
+                        if power_state == "transmit" else None)
+            self._advance(wasted_seconds, power_state, power_mw)
+        self.estimator.record_offload_failure(target.name)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("offload.abort", target.name, phase=phase,
+                    wasted_seconds=wasted_seconds)
+            tr.metrics.counter("offload.aborts").inc()
+            tr.metrics.counter("offload.wasted_seconds").inc(
+                wasted_seconds)
+        self.invocations.append(record)
+        return self._replay_locally(target, interp, args, record)
+
+    def _replay_locally(self, target: OffloadTarget, interp: Interpreter,
+                        args: List, record: InvocationRecord):
+        """Execute the aborted target on the mobile device.
+
+        The replay runs on a sub-interpreter sharing the suspended
+        interpreter's stack pointer — a fresh interpreter would start at
+        stack_top and clobber the live frames of the suspended caller.
+        Its cycles are charged (unscaled) to the main interpreter so the
+        replay is ordinary mobile compute time on the timeline and in the
+        energy model, and its observer feeds the dynamic estimator an
+        observed local execution time for the target."""
+        fn = self.mobile.module.function(target.name)
+        sub = Interpreter(self.mobile, observer=interp.observer,
+                          max_instructions=self.options.max_instructions)
+        sub.sp = interp.sp
+        result = sub.call_function(fn, args)
+        interp.charge_raw_cycles(sub.cycles)
+        self._replay_instructions += sub.instruction_count
+        record.fallback_local = True
+        record.local_seconds = sub.time_seconds
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit("offload.fallback", target.name,
+                    seconds=sub.time_seconds,
+                    instructions=sub.instruction_count)
+            tr.metrics.counter("offload.fallbacks").inc()
         return result

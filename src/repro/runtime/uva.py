@@ -7,6 +7,16 @@ invalidated (page-table synchronization); hot pages are prefetched; any
 other shared page the server touches faults and is pulled from the mobile
 device on demand.  At finalization the server's dirty pages are written
 back to the mobile device in one compressed batch.
+
+Finalization is transactional with respect to link failure: the
+write-back and allocator-state transfers are *staged* first
+(``defer_commit=True``) and applied to mobile memory only by
+:meth:`UVAManager.commit_finalize` once every byte is on the wire.  If
+the transport dies mid-finalize (:class:`LinkDownError` out of the
+communication manager), the session calls
+:meth:`UVAManager.abort_invocation` instead and no staged state ever
+touches the mobile device — the abort-and-replay semantics invariant of
+DESIGN.md §5.
 """
 
 from __future__ import annotations
@@ -55,6 +65,9 @@ class UVAManager:
         self.page_size = mobile.memory.page_size
         self.stats = UVAStats()
         self._server_private = self._private_ranges(server)
+        # Staged finalization state (see commit_finalize / abort_invocation).
+        self._pending_writeback: Optional[Dict[int, bytes]] = None
+        self._pending_alloc_state: Optional[dict] = None
         server.memory.fault_handler = self._server_fault
 
     # -- region classification ----------------------------------------
@@ -161,10 +174,16 @@ class UVAManager:
                 result.seconds)
         return True
 
-    def write_back(self) -> Tuple[float, int]:
+    def write_back(self, defer_commit: bool = False) -> Tuple[float, int]:
         """Finalization: send all server dirty pages (in the shared region)
         back to the mobile device, batched and compressed.  Returns
-        (seconds, payload_bytes)."""
+        (seconds, payload_bytes).
+
+        With ``defer_commit`` the pages are transmitted (or queued on an
+        open batching window) but **not** applied to mobile memory until
+        :meth:`commit_finalize` — the session commits only after the
+        whole finalization message survives the transport.
+        """
         dirty = self.server.memory.collect_dirty_pages()
         payloads = []
         installed = {}
@@ -173,9 +192,21 @@ class UVAManager:
                 continue
             payloads.append(data)
             installed[pidx] = data
-        self.mobile.memory.install_pages(installed, mark_dirty=True)
-        self.stats.written_back_pages += len(installed)
         bytes_back = sum(len(p) for p in payloads)
+        seconds = (self.comm.send_to_mobile(payloads).seconds
+                   if payloads else 0.0)
+        if defer_commit:
+            self._pending_writeback = installed
+        else:
+            self._apply_writeback(installed)
+        if not payloads:
+            return 0.0, 0
+        return seconds, bytes_back
+
+    def _apply_writeback(self, installed: Dict[int, bytes]) -> None:
+        self.mobile.memory.install_pages(installed, mark_dirty=True)
+        bytes_back = sum(len(p) for p in installed.values())
+        self.stats.written_back_pages += len(installed)
         self.stats.written_back_bytes += bytes_back
         tracer = self.tracer
         if tracer.enabled and installed:
@@ -184,9 +215,22 @@ class UVAManager:
             tracer.metrics.counter("uva.writeback_pages").inc(
                 len(installed))
             tracer.metrics.counter("uva.writeback_bytes").inc(bytes_back)
-        if not payloads:
-            return 0.0, 0
-        return self.comm.send_to_mobile(payloads).seconds, bytes_back
+
+    def commit_finalize(self) -> None:
+        """Apply staged finalization state after the transfer succeeded."""
+        if self._pending_writeback is not None:
+            self._apply_writeback(self._pending_writeback)
+            self._pending_writeback = None
+        if self._pending_alloc_state is not None:
+            self.mobile.uva_heap.restore(self._pending_alloc_state)
+            self._pending_alloc_state = None
+
+    def abort_invocation(self) -> None:
+        """Discard every piece of staged UVA state: nothing from the
+        failed invocation may reach the mobile device."""
+        self._pending_writeback = None
+        self._pending_alloc_state = None
+        self.server.memory.clear_dirty()
 
     # -- allocator state synchronization ----------------------------------
     def push_allocator_state(self) -> float:
@@ -197,8 +241,12 @@ class UVAManager:
         approx = 32 + 16 * len(state["free_list"])
         return self.comm.send_to_server([b"\x00" * approx]).seconds
 
-    def pull_allocator_state(self) -> float:
+    def pull_allocator_state(self, defer_commit: bool = False) -> float:
         state = self.server.uva_heap.snapshot()
-        self.mobile.uva_heap.restore(state)
         approx = 32 + 16 * len(state["free_list"])
-        return self.comm.send_to_mobile([b"\x00" * approx]).seconds
+        seconds = self.comm.send_to_mobile([b"\x00" * approx]).seconds
+        if defer_commit:
+            self._pending_alloc_state = state
+        else:
+            self.mobile.uva_heap.restore(state)
+        return seconds

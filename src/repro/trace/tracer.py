@@ -55,6 +55,11 @@ CATEGORIES = (
     "comm.adjust",        # pipelined remote-input timing correction
     "rio.op",             # one forwarded remote I/O operation
     "fnptr.window",       # fn-ptr translations of one invocation
+    "transport.retry",    # one dropped/timed-out delivery being retried
+    "transport.disconnect",  # the link went down mid-delivery
+    "transport.reconnect",   # a reconnect probe succeeded
+    "offload.abort",      # an invocation lost the link mid-flight
+    "offload.fallback",   # an aborted invocation replayed locally
 )
 
 # Categories every offloading run emits (workload-independent).  The

@@ -7,19 +7,34 @@ from hypothesis import given, settings, strategies as st
 from repro.frontend import compile_c
 from repro.machine import Machine, install_libc
 from repro.runtime import (CommunicationManager, FAST_WIFI,
-                           FunctionAddressTable, IDEAL_NETWORK, NetworkModel,
+                           FunctionAddressTable, IDEAL_NETWORK,
+                           MESSAGE_HEADER_BYTES, NetworkModel,
                            SLOW_WIFI, UnmappableFunctionPointer)
+from repro.runtime.comm import PER_ITEM_HEADER_BYTES
 
 
 class TestNetworkModel:
     def test_one_way_time(self):
         net = NetworkModel("t", bandwidth_bps=8e6, latency_s=0.001)
-        # 1 MB/s effective: 1000 bytes -> 1 ms serialize + 1 ms latency
-        assert net.one_way_time(1000) == pytest.approx(0.002)
+        # 1 MB/s effective: 1000 bytes + 64-byte message header
+        # -> 1.064 ms serialize + 1 ms latency
+        assert net.one_way_time(1000) == pytest.approx(0.002064)
 
     def test_round_trip(self):
         net = NetworkModel("t", bandwidth_bps=8e6, latency_s=0.001)
-        assert net.round_trip_time(0, 0) == pytest.approx(0.002)
+        assert net.round_trip_time(0, 0) == pytest.approx(0.002128)
+
+    def test_zero_byte_message_pays_header(self):
+        """Regression: a zero-byte payload is not free — it pays the
+        link latency plus serialization of the per-message header, and
+        round_trip_time agrees with one_way_time in both directions."""
+        net = NetworkModel("t", bandwidth_bps=8e6, latency_s=0.001)
+        header_s = MESSAGE_HEADER_BYTES / net.bandwidth_bytes_per_s
+        assert net.one_way_time(0) == pytest.approx(
+            net.latency_s + header_s)
+        assert net.one_way_time(0) > net.latency_s
+        assert net.round_trip_time(123, 456) == pytest.approx(
+            net.one_way_time(123) + net.one_way_time(456))
 
     def test_presets_ordering(self):
         assert SLOW_WIFI.bandwidth_bps < FAST_WIFI.bandwidth_bps
@@ -59,6 +74,44 @@ class TestBatching:
         comm.begin_batch(to_server=False)
         assert comm.flush_batch().seconds == 0
 
+    def test_empty_flush_sends_nothing(self):
+        """An empty batching window costs nothing and moves nothing —
+        no message, no wire bytes, no simulated time."""
+        comm = CommunicationManager(FAST_WIFI)
+        comm.begin_batch(to_server=True)
+        result = comm.flush_batch()
+        assert result.seconds == 0 and result.wire_bytes == 0
+        assert comm.stats.messages == 0
+        assert comm.stats.comm_seconds == 0.0
+        assert comm.stats.wire_bytes_to_server == 0
+        # flushing again with no open window is also a no-op
+        assert comm.flush_batch().seconds == 0
+
+    def test_single_item_batch_framing(self):
+        """A batch of one item pays exactly one per-item header plus one
+        per-message header over the payload."""
+        comm = CommunicationManager(FAST_WIFI, enable_compression=False)
+        comm.begin_batch(to_server=True)
+        payload = b"z" * 1000
+        comm.send_to_server([payload])
+        result = comm.flush_batch()
+        assert result.wire_bytes == (len(payload) + PER_ITEM_HEADER_BYTES
+                                     + MESSAGE_HEADER_BYTES)
+        assert result.seconds == pytest.approx(
+            FAST_WIFI.one_way_time(len(payload) + PER_ITEM_HEADER_BYTES))
+
+    def test_discard_batch_transmits_nothing(self):
+        """The abort path: a discarded batching window never reaches the
+        wire."""
+        comm = CommunicationManager(FAST_WIFI)
+        comm.begin_batch(to_server=True)
+        comm.send_to_server([b"q" * 4096])
+        comm.discard_batch()
+        assert comm.flush_batch().seconds == 0
+        assert comm.stats.messages == 0
+        assert comm.stats.wire_bytes_to_server == 0
+        assert comm.stats.comm_seconds == 0.0
+
 
 class TestCompression:
     def test_compressible_payload_shrinks_wire_bytes(self):
@@ -76,12 +129,34 @@ class TestCompression:
         assert result.wire_bytes >= len(payload)
 
     def test_incompressible_payload_not_inflated(self):
-        import os
         comm = CommunicationManager(SLOW_WIFI, enable_compression=True)
         payload = bytes(range(256)) * 16
-        import zlib
         result = comm.send_to_mobile([payload])
         assert result.wire_bytes <= len(payload) + 128
+
+    def test_incompressible_wire_bytes_bounded_by_framing(self):
+        """Server->mobile payloads the codec cannot shrink must never
+        inflate the wire bytes beyond payload + framing: the manager
+        keeps the raw bytes whenever deflate would grow them."""
+        import random as _random
+        rng = _random.Random(1234)
+        payloads = [bytes(rng.getrandbits(8) for _ in range(3000))
+                    for _ in range(3)]
+        comm = CommunicationManager(SLOW_WIFI, enable_compression=True,
+                                    enable_batching=True)
+        result = comm.send_to_mobile(list(payloads))
+        total = sum(len(p) for p in payloads)
+        framing = (PER_ITEM_HEADER_BYTES * len(payloads)
+                   + MESSAGE_HEADER_BYTES)
+        assert result.wire_bytes <= total + framing
+        # unbatched: each item pays its own message framing, still no
+        # inflation beyond it
+        comm2 = CommunicationManager(SLOW_WIFI, enable_compression=True,
+                                     enable_batching=False)
+        result2 = comm2.send_to_mobile(list(payloads))
+        framing2 = ((PER_ITEM_HEADER_BYTES + MESSAGE_HEADER_BYTES)
+                    * len(payloads))
+        assert result2.wire_bytes <= total + framing2
 
     def test_disable_compression(self):
         on = CommunicationManager(SLOW_WIFI, enable_compression=True)
