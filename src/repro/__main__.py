@@ -81,6 +81,30 @@ def _print_fault_summary(result) -> None:
           f"{result.wasted_seconds * 1e3:.2f} ms wasted on the link")
 
 
+def _print_uva_summary(result) -> None:
+    """The UVA data-plane line(s) of the run/trace summaries
+    (docs/uva-data-plane.md).  Phase seconds are the values the
+    prefetch/write_back calls charged directly; inside a batching
+    window the batch flush carries the wall time, so these read 0."""
+    us = result.uva_stats
+    if us is None:
+        return
+    print(f"  uva     : prefetch {us.prefetched_pages} pages "
+          f"({us.prefetch_seconds * 1e3:.2f} ms), "
+          f"writeback {us.written_back_pages} pages "
+          f"({us.writeback_seconds * 1e3:.2f} ms), "
+          f"{us.cod_faults} CoD faults")
+    attempts = us.prefetch_hits + us.prefetch_wasted
+    hit_pct = 100.0 * us.prefetch_hit_ratio
+    print(f"  uva+    : cache kept {us.cache_kept_pages} pages, "
+          f"skipped {us.cache_skipped_prefetch_pages} prefetches "
+          f"({us.cache_saved_bytes / 1024:.1f} KiB), "
+          f"delta saved {us.delta_saved_bytes / 1024:.1f} KiB "
+          f"on {us.delta_pages} pages, "
+          f"prefetch hits {us.prefetch_hits}/{attempts} "
+          f"({hit_pct:.0f}%)")
+
+
 def cmd_run(args) -> int:
     network = NETWORKS.get(args.network)
     if network is None:
@@ -110,6 +134,7 @@ def cmd_run(args) -> int:
           f"{len(result.invocations)} invocations, "
           f"traffic {result.traffic_per_invocation_mb:.3f} MB/invocation, "
           f"output {match}")
+    _print_uva_summary(result)
     if plan is not None:
         _print_fault_summary(result)
     return 0 if match == "identical" else 1
@@ -150,6 +175,9 @@ def cmd_trace(args) -> int:
     for key in reported:
         print(f"  {key:<20s} {derived[key]:.9f} s   "
               f"{reported[key]:.9f} s")
+    print()
+    print("uva data plane")
+    _print_uva_summary(result)
     print()
     print("transport / fallback")
     _print_fault_summary(result)

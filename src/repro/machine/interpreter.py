@@ -114,6 +114,24 @@ class Interpreter:
         # lifetime).
         self._access_plans: Dict[int, tuple] = {}
         self._gep_plans: Dict[int, list] = {}
+        # Precomputed opcode dispatch for every straight-line opcode:
+        # one dict lookup + bound-method call per instruction instead of
+        # walking an if/elif chain.  Control flow (br/condbr/switch/ret)
+        # stays inline in _run_blocks because it owes the loop a
+        # next-block / return-value answer.
+        self._dispatch: Dict[str, Callable] = {
+            "binop": self._do_binop,
+            "cmp": self._do_cmp,
+            "load": self._do_load,
+            "store": self._exec_store,
+            "gep": self._do_gep,
+            "cast": self._do_cast,
+            "call": self._do_call,
+            "alloca": self._do_alloca,
+            "select": self._do_select,
+            "asm": self._do_asm,
+            "syscall": self._do_syscall,
+        }
 
     # -- accounting -----------------------------------------------------
     def charge(self, inst_class: str, count: float = 1.0) -> None:
@@ -194,7 +212,48 @@ class Interpreter:
         return builtin(self, args)
 
     # -- the dispatch loop ------------------------------------------------
+    def _do_binop(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_binop(instruction, frame)
+
+    def _do_cmp(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_cmp(instruction, frame)
+
+    def _do_load(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_load(instruction, frame)
+
+    def _do_gep(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_gep(instruction, frame)
+
+    def _do_cast(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_cast(instruction, frame)
+
+    def _do_call(self, instruction, frame) -> None:
+        result = self._exec_call(instruction, frame)
+        if not instruction.type.is_void:
+            frame[id(instruction)] = result
+
+    def _do_alloca(self, instruction, frame) -> None:
+        frame[id(instruction)] = self._exec_alloca(instruction)
+
+    def _do_select(self, instruction, frame) -> None:
+        self.charge("alu")
+        cond = self._value(instruction.operands[0], frame)
+        picked = (instruction.operands[1] if cond
+                  else instruction.operands[2])
+        frame[id(instruction)] = self._value(picked, frame)
+
+    def _do_asm(self, instruction, frame) -> None:
+        # Inline assembly executes natively on its home machine;
+        # charge a token cost.
+        self.charge("alu")
+
+    def _do_syscall(self, instruction, frame) -> None:
+        self.charge("call")
+        frame[id(instruction)] = 0
+
     def _run_blocks(self, fn: Function, frame: Dict[int, object]):
+        dispatch_get = self._dispatch.get
+        max_instructions = self.max_instructions
         block = fn.entry
         while True:
             if self._block_observer is not None:
@@ -202,35 +261,15 @@ class Interpreter:
             next_block = None
             for instruction in block.instructions:
                 self.instruction_count += 1
-                if self.instruction_count > self.max_instructions:
+                if self.instruction_count > max_instructions:
                     raise ExecutionLimitExceeded(
                         f"exceeded {self.max_instructions} instructions")
                 op = instruction.opcode
-                if op == "binop":
-                    frame[id(instruction)] = self._exec_binop(instruction, frame)
-                elif op == "cmp":
-                    frame[id(instruction)] = self._exec_cmp(instruction, frame)
-                elif op == "load":
-                    frame[id(instruction)] = self._exec_load(instruction, frame)
-                elif op == "store":
-                    self._exec_store(instruction, frame)
-                elif op == "gep":
-                    frame[id(instruction)] = self._exec_gep(instruction, frame)
-                elif op == "cast":
-                    frame[id(instruction)] = self._exec_cast(instruction, frame)
-                elif op == "call":
-                    result = self._exec_call(instruction, frame)
-                    if not instruction.type.is_void:
-                        frame[id(instruction)] = result
-                elif op == "alloca":
-                    frame[id(instruction)] = self._exec_alloca(instruction)
-                elif op == "select":
-                    self.charge("alu")
-                    cond = self._value(instruction.operands[0], frame)
-                    picked = (instruction.operands[1] if cond
-                              else instruction.operands[2])
-                    frame[id(instruction)] = self._value(picked, frame)
-                elif op == "br":
+                handler = dispatch_get(op)
+                if handler is not None:
+                    handler(instruction, frame)
+                    continue
+                if op == "br":
                     self.charge("branch")
                     next_block = instruction.target
                     break
@@ -254,13 +293,6 @@ class Interpreter:
                     if instruction.value is None:
                         return None
                     return self._value(instruction.value, frame)
-                elif op == "asm":
-                    # Inline assembly executes natively on its home machine;
-                    # charge a token cost.
-                    self.charge("alu")
-                elif op == "syscall":
-                    self.charge("call")
-                    frame[id(instruction)] = 0
                 elif op == "unreachable":
                     raise InterpreterError(
                         f"reached unreachable in {fn.name}")

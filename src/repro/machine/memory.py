@@ -8,9 +8,14 @@ finalization).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 DEFAULT_PAGE_SIZE = 4096
+
+# Sub-page dirty tracking granularity (docs/uva-data-plane.md).  One bit
+# of a page's dirty-block mask covers this many bytes; the UVA manager
+# encodes write-back deltas as runs of dirty blocks.
+SUBPAGE_BLOCK_BYTES = 128
 
 
 class SegmentationFault(Exception):
@@ -44,6 +49,19 @@ class AddressSpace:
         self.fault_count = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        # Sub-page dirty-block masks (bit i covers bytes
+        # [i*block_size, (i+1)*block_size) of the page).  Off by default;
+        # the UVA manager enables it on the server space so write-back
+        # can ship deltas instead of whole pages.
+        self.track_subpage = False
+        self.block_size = min(SUBPAGE_BLOCK_BYTES, page_size)
+        self.blocks_per_page = self.page_size // self.block_size
+        self.dirty_blocks: Dict[int, int] = {}
+        self._block_shift = self.block_size.bit_length() - 1
+        # Optional touched-page recording (reads and writes).  None means
+        # no tracking; the UVA manager installs a set for the duration of
+        # one offloaded invocation to drive adaptive prefetch.
+        self.touched: Optional[Set[int]] = None
 
     # -- page management ----------------------------------------------------
     def page_index(self, address: int) -> int:
@@ -70,6 +88,7 @@ class AddressSpace:
     def unmap_page(self, page_index: int) -> None:
         self.pages.pop(page_index, None)
         self.dirty.discard(page_index)
+        self.dirty_blocks.pop(page_index, None)
 
     def mapped_pages(self) -> List[int]:
         return sorted(self.pages)
@@ -96,6 +115,8 @@ class AddressSpace:
             page = self.pages.get(pidx)
             if page is None:
                 page = self._page_for(pidx, address, size)
+            if self.touched is not None:
+                self.touched.add(pidx)
             return bytes(page[off:off + size])
         out = bytearray()
         remaining = size
@@ -103,6 +124,8 @@ class AddressSpace:
         while remaining > 0:
             pidx = self.page_index(addr)
             page = self._page_for(pidx, address, size)
+            if self.touched is not None:
+                self.touched.add(pidx)
             off = addr - self.page_base(pidx)
             chunk = min(remaining, self.page_size - off)
             out += page[off:off + chunk]
@@ -121,6 +144,10 @@ class AddressSpace:
                 page = self._page_for(pidx, address, size)
             page[off:off + size] = data
             self.dirty.add(pidx)
+            if self.track_subpage:
+                self._mark_blocks(pidx, off, size)
+            if self.touched is not None:
+                self.touched.add(pidx)
             return
         addr = address
         pos = 0
@@ -132,6 +159,10 @@ class AddressSpace:
             chunk = min(remaining, self.page_size - off)
             page[off:off + chunk] = data[pos:pos + chunk]
             self.dirty.add(pidx)
+            if self.track_subpage:
+                self._mark_blocks(pidx, off, chunk)
+            if self.touched is not None:
+                self.touched.add(pidx)
             addr += chunk
             pos += chunk
             remaining -= chunk
@@ -149,8 +180,22 @@ class AddressSpace:
         raise ValueError(f"unterminated string at {address:#x}")
 
     # -- dirty-page machinery (write-back) ----------------------------------
+    def _mark_blocks(self, page_index: int, offset: int,
+                     length: int) -> None:
+        b0 = offset >> self._block_shift
+        b1 = (offset + length - 1) >> self._block_shift
+        mask = ((1 << (b1 + 1)) - 1) & ~((1 << b0) - 1)
+        self.dirty_blocks[page_index] = (
+            self.dirty_blocks.get(page_index, 0) | mask)
+
+    @property
+    def full_block_mask(self) -> int:
+        """The mask with every sub-page block set."""
+        return (1 << self.blocks_per_page) - 1
+
     def clear_dirty(self) -> None:
         self.dirty.clear()
+        self.dirty_blocks.clear()
 
     def dirty_pages(self) -> List[int]:
         return sorted(self.dirty)
@@ -160,6 +205,7 @@ class AddressSpace:
         snapshot = {pidx: bytes(self.pages[pidx])
                     for pidx in sorted(self.dirty) if pidx in self.pages}
         self.dirty.clear()
+        self.dirty_blocks.clear()
         return snapshot
 
     def page_bytes(self, page_index: int) -> bytes:
@@ -171,3 +217,16 @@ class AddressSpace:
             self.map_page(pidx, data)
             if mark_dirty:
                 self.dirty.add(pidx)
+
+    def apply_delta(self, page_index: int,
+                    records: Iterable[Tuple[int, bytes]],
+                    mark_dirty: bool = False) -> None:
+        """Patch an already-mapped page with (offset, bytes) records —
+        the receive side of a sub-page delta transfer."""
+        page = self.pages.get(page_index)
+        if page is None:
+            raise SegmentationFault(page_index * self.page_size)
+        for offset, data in records:
+            page[offset:offset + len(data)] = data
+        if mark_dirty:
+            self.dirty.add(page_index)

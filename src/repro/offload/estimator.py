@@ -22,6 +22,11 @@ class EstimatorParams:
 
     performance_ratio: float        # R
     bandwidth_bytes_per_s: float    # BW
+    # Incremental-data-plane awareness (docs/uva-data-plane.md): with the
+    # cross-invocation page cache and sub-page deltas, invocations after
+    # the first ship only this fraction of M.  The default of 1.0 is the
+    # paper's original Equation 1 (every invocation pays the full 2M/BW).
+    warm_transfer_fraction: float = 1.0
 
     def __post_init__(self):
         if self.performance_ratio <= 1.0:
@@ -29,6 +34,8 @@ class EstimatorParams:
                              "(the server must be faster)")
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
+        if not 0.0 < self.warm_transfer_fraction <= 1.0:
+            raise ValueError("warm transfer fraction must be in (0, 1]")
 
 
 @dataclass
@@ -58,9 +65,15 @@ class StaticPerformanceEstimator:
     def estimate(self, profile: CandidateProfile) -> StaticEstimate:
         t_mobile = profile.total_seconds
         t_ideal = t_mobile * (1.0 - 1.0 / self.params.performance_ratio)
+        # The first invocation pays the full transfer; with the
+        # incremental data plane, warm invocations pay only a fraction.
+        warm = self.params.warm_transfer_fraction
+        effective_invocations = (
+            profile.invocations if profile.invocations <= 1
+            else 1.0 + (profile.invocations - 1) * warm)
         t_comm = (2.0 * profile.memory_bytes
                   / self.params.bandwidth_bytes_per_s
-                  * profile.invocations)
+                  * effective_invocations)
         return StaticEstimate(
             name=profile.name,
             t_mobile=t_mobile,

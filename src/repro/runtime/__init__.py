@@ -8,10 +8,11 @@ from .transport import (LinkDownError, RetryPolicy, Transport,
                         TransportError, TransportStats)
 from .comm import (CommStats, CommunicationManager, TransferResult,
                    COMPRESS_CYCLES_PER_BYTE, DECOMPRESS_CYCLES_PER_BYTE,
-                   MESSAGE_HEADER_BYTES)
+                   DELTA_RECORD_HEADER_BYTES, MESSAGE_HEADER_BYTES,
+                   delta_records_size, encode_delta_records)
 from .fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES,
                         UnmappableFunctionPointer)
-from .uva import UVAManager, UVAStats
+from .uva import PrefetchAdvisor, UVAManager, UVAStats
 from .dynamic_estimator import (DynamicPerformanceEstimator, GainEstimate,
                                 TargetRuntimeState)
 from .prediction import BandwidthPredictor, PredictionRecord
@@ -28,10 +29,11 @@ __all__ = [
     "BandwidthPredictor", "PredictionRecord",
     "CommStats", "CommunicationManager", "TransferResult",
     "COMPRESS_CYCLES_PER_BYTE", "DECOMPRESS_CYCLES_PER_BYTE",
-    "MESSAGE_HEADER_BYTES",
+    "DELTA_RECORD_HEADER_BYTES", "MESSAGE_HEADER_BYTES",
+    "delta_records_size", "encode_delta_records",
     "FunctionAddressTable", "MAP_LOOKUP_CYCLES",
     "UnmappableFunctionPointer",
-    "UVAManager", "UVAStats",
+    "PrefetchAdvisor", "UVAManager", "UVAStats",
     "DynamicPerformanceEstimator", "GainEstimate", "TargetRuntimeState",
     "InvocationRecord", "OffloadSession", "SessionOptions", "SessionResult",
     "LocalRunResult", "run_local",

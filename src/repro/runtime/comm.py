@@ -34,6 +34,25 @@ DECOMPRESS_CYCLES_PER_BYTE = 3.0    # mobile-side inflate
 PER_ITEM_HEADER_BYTES = 16          # per-batched-item framing
 STREAM_OP_OVERHEAD_S = 25e-6        # per-op cost of pipelined output I/O
 
+# Per-record framing of one (offset, length) sub-page delta record
+# (docs/uva-data-plane.md).  The framing lives here with the rest of the
+# wire layout: the UVA layer decides *what* to diff, the communication
+# layer owns how a record looks on the wire.
+DELTA_RECORD_HEADER_BYTES = 8
+
+
+def delta_records_size(records) -> int:
+    """Wire size of a sub-page delta: per-record header + patch bytes."""
+    return sum(DELTA_RECORD_HEADER_BYTES + len(data)
+               for _, data in records)
+
+
+def encode_delta_records(records) -> bytes:
+    """The wire form of a delta: per-record framing plus the patch bytes
+    themselves (real content, so one-way compression still applies)."""
+    return b"".join(b"\x00" * DELTA_RECORD_HEADER_BYTES + data
+                    for _, data in records)
+
 
 @dataclass
 class CommStats:

@@ -30,6 +30,12 @@ class TargetRuntimeState:
 
     observed_local_seconds: Optional[float] = None
     observed_traffic_bytes: Optional[float] = None
+    # Warm-path traffic: the incremental UVA data plane makes repeat
+    # offloads much cheaper than the first (page cache + deltas), so the
+    # first observation is kept apart as the cold figure and subsequent
+    # invocations are smoothed here.  Estimates prefer the warm figure —
+    # it is the one that predicts the *next* invocation.
+    warm_traffic_bytes: Optional[float] = None
     decisions: int = 0
     offloads: int = 0
     # Link-failure awareness: aborted invocations put the target on an
@@ -90,9 +96,11 @@ class DynamicPerformanceEstimator:
         state.cooldown = 0
         if state.observed_traffic_bytes is None:
             state.observed_traffic_bytes = bytes_moved
-        else:  # exponential smoothing across invocations
-            state.observed_traffic_bytes = (
-                0.5 * state.observed_traffic_bytes + 0.5 * bytes_moved)
+        elif state.warm_traffic_bytes is None:
+            state.warm_traffic_bytes = bytes_moved
+        else:  # exponential smoothing across warm invocations
+            state.warm_traffic_bytes = (
+                0.5 * state.warm_traffic_bytes + 0.5 * bytes_moved)
 
     def record_offload_failure(self, name: str) -> None:
         """An invocation of this target aborted on a dead link; sit out
@@ -117,7 +125,9 @@ class DynamicPerformanceEstimator:
             t_mobile = (prof.seconds_per_invocation
                         if prof is not None and prof.invocations else 0.0)
         observed_traffic = state.observed_traffic_bytes is not None
-        memory = state.observed_traffic_bytes
+        memory = (state.warm_traffic_bytes
+                  if state.warm_traffic_bytes is not None
+                  else state.observed_traffic_bytes)
         if memory is None:
             memory = float(prof.memory_bytes) if prof is not None else 0.0
         t_ideal = t_mobile * (1.0 - 1.0 / self.performance_ratio)

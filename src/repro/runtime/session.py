@@ -34,7 +34,7 @@ from ..runtime.fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES)
 from ..runtime.network import FaultPlan, NetworkModel
 from ..runtime.transport import (LinkDownError, RetryPolicy,
                                  TransportStats)
-from ..runtime.uva import UVAManager
+from ..runtime.uva import UVAManager, UVAStats
 from ..trace import NULL_TRACER, Tracer
 from ..trace.tracer import DEFAULT_CAPACITY as TRACE_DEFAULT_CAPACITY
 
@@ -46,6 +46,15 @@ class SessionOptions:
     enable_batching: bool = True
     enable_compression: bool = True
     enable_copy_on_demand: bool = True
+    # Incremental UVA data plane (docs/uva-data-plane.md): cross-
+    # invocation page cache + version vectors, sub-page delta transfers,
+    # and fault-history-driven adaptive prefetch.  With all three off the
+    # data plane is the naive one (full invalidation, whole pages) —
+    # the differential tests assert bit-identical program output and
+    # final mobile memory between the two.
+    enable_page_cache: bool = True
+    enable_delta_transfer: bool = True
+    enable_adaptive_prefetch: bool = True
     enable_dynamic_estimation: bool = True
     enable_stack_reallocation: bool = True
     # NWSLite-style bandwidth prediction (paper, Section 6): the dynamic
@@ -132,6 +141,9 @@ class SessionResult:
     # Transport-layer counters (retries, drops, reconnects, backoff);
     # all zeros on a fault-free link.
     transport_stats: Optional[TransportStats] = None
+    # UVA data-plane counters (prefetch/write-back timing, page-cache
+    # hits, delta savings, adaptive-prefetch hit/waste).
+    uva_stats: Optional[UVAStats] = None
 
     def trace_events(self):
         """The captured trace events ([] when tracing was disabled)."""
@@ -256,10 +268,14 @@ class OffloadSession:
         self._faulty = (opts.fault_plan is not None
                         and not opts.fault_plan.is_empty)
         self._replay_instructions = 0
-        self.uva = UVAManager(self.mobile, self.server, self.comm,
-                              enable_prefetch=opts.enable_prefetch,
-                              enable_copy_on_demand=opts.enable_copy_on_demand,
-                              tracer=self.tracer)
+        self.uva = UVAManager(
+            self.mobile, self.server, self.comm,
+            enable_prefetch=opts.enable_prefetch,
+            enable_copy_on_demand=opts.enable_copy_on_demand,
+            enable_page_cache=opts.enable_page_cache,
+            enable_delta_transfer=opts.enable_delta_transfer,
+            enable_adaptive_prefetch=opts.enable_adaptive_prefetch,
+            tracer=self.tracer)
         self.fcn_table = FunctionAddressTable(self.mobile, self.server)
         from .prediction import BandwidthPredictor
         self.predictor = (BandwidthPredictor()
@@ -350,6 +366,7 @@ class OffloadSession:
             compression_saved_bytes=self.comm.stats.compression_saved_bytes,
             trace=tr if tr.enabled else None,
             transport_stats=self.comm.transport.stats,
+            uva_stats=self.uva.stats,
         )
 
     def now(self) -> float:
@@ -637,6 +654,7 @@ class OffloadSession:
         # ---- initialization (Figure 5) --------------------------------
         # One batched message carries the offload request, the page table,
         # the allocator state and the prefetched pages.
+        self.uva.begin_invocation(target.name)
         comm_phase0 = self.comm.stats.comm_seconds
         self.comm.begin_batch(to_server=True)
         try:
@@ -750,6 +768,7 @@ class OffloadSession:
                 self.comm.stats.comm_seconds - comm_phase0,
                 "receive", io_snapshot)
         self.uva.commit_finalize()
+        self.uva.end_invocation()
         if zero:
             fin_seconds = 0.0
         record.finalize_seconds = fin_seconds

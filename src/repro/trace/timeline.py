@@ -26,6 +26,8 @@ _LEAD_KEYS: Dict[str, Sequence[str]] = {
     "uva.prefetch": ("pages", "bytes"),
     "uva.fault": ("page", "bytes"),
     "uva.writeback": ("pages", "bytes"),
+    "uva.cache": ("kept", "invalidated", "hits", "wasted"),
+    "uva.delta": ("pages", "records", "encoded_bytes", "saved_bytes"),
     "comm.send": ("payload_bytes", "wire_bytes", "saved_bytes"),
     "comm.stream": ("payload_bytes", "wire_bytes"),
     "comm.rtt": ("request_bytes", "response_bytes"),
@@ -160,6 +162,7 @@ def traffic_totals(events: Iterable[TraceEvent]) -> Dict[str, int]:
         "messages": 0, "compression_saved_bytes": 0,
         "uva_prefetch_bytes": 0, "uva_writeback_bytes": 0,
         "uva_cod_bytes": 0, "rio_bytes": 0,
+        "uva_delta_saved_bytes": 0,
     }
     for event in events:
         p = event.payload
@@ -187,6 +190,8 @@ def traffic_totals(events: Iterable[TraceEvent]) -> Dict[str, int]:
             totals["uva_writeback_bytes"] += p.get("bytes", 0)
         elif cat == "uva.fault":
             totals["uva_cod_bytes"] += p.get("bytes", 0)
+        elif cat == "uva.delta":
+            totals["uva_delta_saved_bytes"] += p.get("saved_bytes", 0)
         elif cat == "rio.op":
             totals["rio_bytes"] += p.get("bytes", 0)
     return totals

@@ -49,6 +49,8 @@ CATEGORIES = (
     "uva.prefetch",       # likely-used page push at initialization
     "uva.fault",          # one copy-on-demand page fault
     "uva.writeback",      # dirty-page write-back at finalization
+    "uva.cache",          # page-cache sync summary / adaptive hit-waste
+    "uva.delta",          # sub-page delta transfer (prefetch/CoD/writeback)
     "comm.send",          # one batched/unbatched message transfer
     "comm.stream",        # pipelined one-way output forwarding
     "comm.rtt",           # a control round trip

@@ -88,6 +88,79 @@ class TestDirtyTracking:
         assert 5 in mem.dirty
 
 
+class TestSubPageTracking:
+    """Block-granular dirty masks and touched-page sets feeding the
+    incremental UVA data plane (docs/uva-data-plane.md)."""
+
+    def make(self, page_size=256):
+        mem = AddressSpace(page_size=page_size)
+        mem.track_subpage = True
+        mem.map_page(0)
+        return mem
+
+    def test_untracked_by_default(self):
+        mem = AddressSpace(page_size=256)
+        mem.map_page(0)
+        mem.write(0, b"x")
+        assert mem.dirty_blocks == {}
+
+    def test_write_sets_covering_block_bits(self):
+        mem = self.make()
+        mem.write(0, b"x")                        # block 0
+        mem.write(mem.block_size, b"yz")          # block 1
+        assert mem.dirty_blocks[0] == 0b11
+
+    def test_spanning_write_sets_a_run_of_bits(self):
+        mem = self.make()
+        mem.write(mem.block_size - 1, b"ab")      # straddles blocks 0-1
+        assert mem.dirty_blocks[0] == 0b11
+
+    def test_cross_page_write_masks_both_pages(self):
+        mem = self.make()
+        mem.map_page(1)
+        mem.write(256 - 2, b"0123")
+        assert mem.dirty_blocks[0] & (1 << (mem.blocks_per_page - 1))
+        assert mem.dirty_blocks[1] & 1
+
+    def test_collect_dirty_clears_masks(self):
+        mem = self.make()
+        mem.write(0, b"x")
+        mem.collect_dirty_pages()
+        assert mem.dirty_blocks == {}
+
+    def test_full_block_mask_covers_page(self):
+        mem = self.make()
+        mem.write(0, b"\xff" * 256)
+        assert mem.dirty_blocks[0] == mem.full_block_mask
+
+    def test_touched_records_reads_and_writes(self):
+        mem = self.make()
+        mem.map_page(2)
+        mem.touched = set()
+        mem.read(0, 4)
+        mem.write(2 * 256, b"w")
+        assert mem.touched == {0, 2}
+        mem.touched = None                        # uninstall: no tracking
+        mem.read(0, 4)
+
+    def test_apply_delta_patches_in_place(self):
+        mem = self.make()
+        mem.write(0, bytes(range(256)))
+        mem.collect_dirty_pages()
+        mem.apply_delta(0, [(10, b"\x00\x00"), (100, b"\xff")],
+                        mark_dirty=True)
+        expect = bytearray(range(256))
+        expect[10:12] = b"\x00\x00"
+        expect[100] = 0xff
+        assert mem.read(0, 256) == bytes(expect)
+        assert 0 in mem.dirty
+
+    def test_apply_delta_to_unmapped_page_faults(self):
+        mem = self.make()
+        with pytest.raises(SegmentationFault):
+            mem.apply_delta(9, [(0, b"x")])
+
+
 class TestFaultHandler:
     def test_handler_resolves_fault(self):
         mem = AddressSpace(page_size=256)
