@@ -1,0 +1,142 @@
+"""Fleet-scaling benchmark: Figure 6 speedups under server contention
+(docs/fleet.md).
+
+The same multi-invocation hot-kernel workload runs on fleets of growing
+size against a fixed two-server pool.  Per fleet size the sweep records
+throughput, completion-time percentiles, per-server utilization and the
+decline rate into ``BENCH_fleet.json``, and asserts the ISSUE 4
+acceptance bar: as devices per server grow, the decline rate rises and
+local fallbacks absorb the load the pool refuses — with every device
+still producing output identical to the local run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (DeviceSpec, FleetScheduler, PoolOptions,
+                         SeedFanout, ServerPool, arrival_offsets)
+from repro.frontend import compile_c
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.profiler import profile_module
+from repro.runtime import FAST_WIFI, SessionOptions, run_local
+
+from conftest import run_once
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+SEED = 0
+SERVERS = 2
+CAPACITY = 1
+QUEUE_LIMIT = 2
+FLEET_SIZES = [2, 6, 12, 20]
+
+FLEET_SRC = r"""
+int *data;
+int n;
+
+int crunch(void) {
+    int i, r, acc = 0;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            acc += (data[i] * 31 + r) ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i, k;
+    scanf("%d", &n);
+    data = (int*) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    for (k = 0; k < 3; k++) printf("crunched %d\n", crunch());
+    return 0;
+}
+"""
+FLEET_STDIN = b"600\n"
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    module = compile_c(FLEET_SRC, "fleet-bench")
+    profile = profile_module(module, stdin=FLEET_STDIN)
+    program = NativeOffloaderCompiler(
+        CompilerOptions(forced_targets=["crunch"])).compile(
+            module, profile)
+    local = run_local(module, stdin=FLEET_STDIN)
+    return program, local
+
+
+def _run_fleet(program, devices: int):
+    fan = SeedFanout(SEED)
+    offsets = arrival_offsets("uniform", devices, 0.002,
+                              fan.rng("arrivals"))
+    specs = [DeviceSpec(device_id=f"dev{i:02d}", program=program,
+                        network=FAST_WIFI, stdin=FLEET_STDIN,
+                        start_offset_s=offsets[i],
+                        options=SessionOptions())
+             for i in range(devices)]
+    pool = ServerPool(PoolOptions(servers=SERVERS, capacity=CAPACITY,
+                                  queue_limit=QUEUE_LIMIT))
+    return FleetScheduler(specs, pool).run()
+
+
+def test_fleet_scaling_sweep(benchmark, compiled):
+    program, local = compiled
+
+    def sweep():
+        return [(n, _run_fleet(program, n)) for n in FLEET_SIZES]
+
+    results = run_once(benchmark, sweep)
+
+    points = []
+    for n, result in results:
+        assert all(d.result.stdout == local.stdout
+                   for d in result.devices), \
+            f"fleet of {n}: device output diverged from local run"
+        summary = result.summary()
+        summary["devices_per_server"] = n / SERVERS
+        points.append(summary)
+
+    decline = [p["decline_rate"] for p in points]
+    fallbacks = [p["invocations"]["local_fallbacks"] for p in points]
+    # Contention bites: the most loaded fleet declines a strictly
+    # larger share than the least loaded one, monotonically by stage.
+    assert decline == sorted(decline), \
+        f"decline rate not monotone across fleet sizes: {decline}"
+    assert decline[-1] > decline[0], \
+        f"decline rate flat from {FLEET_SIZES[0]} to {FLEET_SIZES[-1]} " \
+        f"devices: {decline}"
+    # ...and the refused load lands on the devices themselves.
+    assert fallbacks[-1] > fallbacks[0], \
+        f"local fallbacks flat under load: {fallbacks}"
+    # The pool is actually being used, not bypassed.
+    busiest = max(s["utilization"]
+                  for s in points[-1]["servers_detail"])
+    assert busiest > 0.5, f"pool underutilized at peak: {busiest}"
+
+    payload = {
+        "workload": "fleet-bench (3x crunch per device)",
+        "network": "802.11ac",
+        "seed": SEED,
+        "servers": SERVERS,
+        "capacity": CAPACITY,
+        "queue_limit": QUEUE_LIMIT,
+        "sweep": points,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_fleet_smoke(compiled):
+    """The CI smoke configuration: one small fleet, fixed seed, asserting
+    determinism and output correctness only (fast enough for the
+    paper-eval smoke job)."""
+    program, local = compiled
+    first = _run_fleet(program, 4)
+    second = _run_fleet(program, 4)
+    assert all(d.result.stdout == local.stdout for d in first.devices)
+    assert json.dumps(first.summary()) == json.dumps(second.summary())

@@ -6,6 +6,7 @@
     python -m repro compile 456.hmmer         # show selection + stats
     python -m repro trace chess               # traced run: event timeline
     python -m repro trace chess --jsonl t.jsonl --chrome t.json
+    python -m repro fleet --devices 20 --servers 2 --seed 0
     python -m repro table 3                   # regenerate a paper table
     python -m repro figure 6a                 # regenerate a paper figure
 """
@@ -13,6 +14,8 @@
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from .eval import (evaluate_suite, figure6a_execution_time,
@@ -20,6 +23,9 @@ from .eval import (evaluate_suite, figure6a_execution_time,
                    figure8_power_traces, render_figure6, render_figure7,
                    render_figure8, render_table1, render_table2,
                    render_table3, render_table4, render_table5)
+from .fleet import (DeviceSpec, FleetScheduler, PoolOptions, SeedFanout,
+                    ServerPool, arrival_offsets)
+from .frontend import compile_c
 from .offload import CompilerOptions, NativeOffloaderCompiler
 from .profiler import profile_module
 from .runtime import (FaultPlan, NETWORKS, OffloadSession, SessionOptions,
@@ -57,6 +63,17 @@ def cmd_compile(args) -> int:
     print(f"  server pruned   : "
           f"{', '.join(program.partition.removed_server_functions) or '-'}")
     return 0
+
+
+def _resolve_network(name: str):
+    """The NetworkModel a ``--network`` flag names (None + stderr note
+    when unknown) — shared by run/trace/fleet so the lookup and its
+    error message cannot drift between subcommands."""
+    network = NETWORKS.get(name)
+    if network is None:
+        print(f"unknown network {name!r}; "
+              f"available: {sorted(NETWORKS)}", file=sys.stderr)
+    return network
 
 
 def _fault_plan(args):
@@ -106,10 +123,8 @@ def _print_uva_summary(result) -> None:
 
 
 def cmd_run(args) -> int:
-    network = NETWORKS.get(args.network)
+    network = _resolve_network(args.network)
     if network is None:
-        print(f"unknown network {args.network!r}; "
-              f"available: {sorted(NETWORKS)}", file=sys.stderr)
         return 2
     spec, module, profile, program = _compile(args.workload)
     local = run_local(module, stdin=spec.eval_stdin,
@@ -143,10 +158,8 @@ def cmd_run(args) -> int:
 def cmd_trace(args) -> int:
     """Run one workload with structured tracing and print its timeline
     (docs/observability.md walks through reading this output)."""
-    network = NETWORKS.get(args.network)
+    network = _resolve_network(args.network)
     if network is None:
-        print(f"unknown network {args.network!r}; "
-              f"available: {sorted(NETWORKS)}", file=sys.stderr)
         return 2
     spec, module, profile, program = _compile(args.workload)
     plan = _fault_plan(args)
@@ -192,6 +205,125 @@ def cmd_trace(args) -> int:
     return 0
 
 
+# The default fleet workload: a hot kernel invoked a few times per
+# device, small enough that a 20-device fleet finishes in seconds but
+# hot enough that the selector offloads it.  Real workload names from
+# `python -m repro list` are accepted too.
+FLEET_MICRO_WORKLOAD = "fleet-micro"
+_FLEET_MICRO_SRC = r"""
+int *data;
+int n;
+
+int crunch(void) {
+    int i, r, acc = 0;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            acc += (data[i] * 31 + r) ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i, k;
+    scanf("%d", &n);
+    data = (int*) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    for (k = 0; k < 3; k++) printf("crunched %d\n", crunch());
+    return 0;
+}
+"""
+_FLEET_MICRO_STDIN = b"600\n"
+
+
+def _fleet_program(name: str):
+    """(module, stdin, files, program) for a fleet workload name."""
+    if name == FLEET_MICRO_WORKLOAD:
+        module = compile_c(_FLEET_MICRO_SRC, FLEET_MICRO_WORKLOAD)
+        profile = profile_module(module, stdin=_FLEET_MICRO_STDIN)
+        program = NativeOffloaderCompiler(
+            CompilerOptions(forced_targets=["crunch"])).compile(
+                module, profile)
+        return module, _FLEET_MICRO_STDIN, None, program
+    spec, module, profile, program = _compile(name)
+    return module, spec.eval_stdin, spec.eval_files, program
+
+
+def cmd_fleet(args) -> int:
+    """Simulate N devices offloading against a contended server pool
+    (docs/fleet.md)."""
+    network = _resolve_network(args.network)
+    if network is None:
+        return 2
+    module, stdin, files, program = _fleet_program(args.workload)
+    local = run_local(module, stdin=stdin, files=files)
+
+    # Every random draw in the run — arrival process, per-device fault
+    # plans — fans out from the one --seed (docs/fleet.md, "Determinism").
+    fan = SeedFanout(args.seed)
+    offsets = arrival_offsets(args.arrival, args.devices, args.spacing,
+                              fan.rng("arrivals"))
+    base_plan = _fault_plan(args)
+    devices = []
+    for i in range(args.devices):
+        device_id = f"dev{i:02d}"
+        plan = (dataclasses.replace(base_plan, seed=fan.seed("fault", i))
+                if base_plan is not None else None)
+        options = SessionOptions(enable_tracing=bool(args.jsonl),
+                                 fault_plan=plan)
+        devices.append(DeviceSpec(device_id=device_id, program=program,
+                                  network=network, stdin=stdin,
+                                  files=files, start_offset_s=offsets[i],
+                                  options=options))
+    pool = ServerPool(PoolOptions(servers=args.servers,
+                                  capacity=args.capacity,
+                                  queue_limit=args.queue_limit))
+    result = FleetScheduler(devices, pool).run()
+
+    summary = result.summary()
+    outputs_ok = all(d.result.stdout == local.stdout
+                     for d in result.devices)
+    inv = summary["invocations"]
+    queue = summary["queue"]
+    print(f"fleet: {args.devices} devices over {network.name}, "
+          f"{args.servers} server(s) x {args.capacity} slot(s), "
+          f"queue limit {args.queue_limit}, "
+          f"{args.arrival} arrivals, seed {args.seed}"
+          + (" (faulty links)" if base_plan is not None else ""))
+    print(f"  makespan  : {summary['makespan_s'] * 1e3:9.2f} ms   "
+          f"throughput "
+          f"{summary['throughput_invocations_per_s']:.1f} invocations/s")
+    print(f"  completion: p50 {summary['completion_s']['p50'] * 1e3:.2f} ms, "
+          f"p95 {summary['completion_s']['p95'] * 1e3:.2f} ms")
+    print(f"  offloading: {inv['offloaded']}/{inv['total']} offloaded, "
+          f"{inv['declined']} declined, {inv['rejected']} rejected, "
+          f"{inv['aborted']} aborted, "
+          f"{inv['local_fallbacks']} ran locally "
+          f"(decline rate {summary['decline_rate'] * 100:.1f}%)")
+    print(f"  queueing  : {queue['total_delay_s'] * 1e3:.2f} ms total over "
+          f"{queue['queued_admissions']} queued admissions "
+          f"(mean {queue['mean_delay_s'] * 1e3:.2f} ms)")
+    for server in summary["servers_detail"]:
+        print(f"  server {server['id']}  : utilization "
+              f"{server['utilization'] * 100:5.1f}%, "
+              f"{server['admitted']} admitted, "
+              f"{server['rejected']} rejected, "
+              f"queue delay {server['queue_delay_s'] * 1e3:.2f} ms, "
+              f"max depth {server['max_queue_depth']}")
+    print(f"  energy    : {summary['energy_mj_total']:.1f} mJ across the "
+          f"fleet, output "
+          f"{'identical' if outputs_ok else 'DIFFERENT'} on all devices")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote summary to {args.json}")
+    if args.jsonl:
+        count = write_jsonl(result.merged_events(), args.jsonl)
+        print(f"wrote {count} merged fleet events to {args.jsonl}")
+    return 0 if outputs_ok else 1
+
+
 def cmd_table(args) -> int:
     renderers = {"1": render_table1, "2": render_table2,
                  "3": render_table3, "5": render_table5}
@@ -225,10 +357,11 @@ def cmd_figure(args) -> int:
 
 
 def _add_fault_args(p) -> None:
-    """Fault-injection knobs shared by the run/trace subcommands
+    """Fault-injection knobs shared by the run/trace/fleet subcommands
     (docs/fault-model.md).  All defaults keep the link perfect."""
     p.add_argument("--seed", type=int, default=0,
-                   help="fault-injection RNG seed (deterministic)")
+                   help="RNG root seed (deterministic; fleet runs fan "
+                        "it out per device/component)")
     p.add_argument("--drop-rate", type=float, default=0.0,
                    metavar="P", help="per-message transient loss "
                    "probability (0..1)")
@@ -284,6 +417,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace ring-buffer capacity (events)")
     _add_fault_args(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("fleet", help="simulate many devices sharing a "
+                                     "contended server pool")
+    p.add_argument("--devices", type=int, default=20,
+                   help="number of mobile devices (default 20)")
+    p.add_argument("--servers", type=int, default=2,
+                   help="number of offload servers (default 2)")
+    p.add_argument("--capacity", type=int, default=1,
+                   help="execution slots per server (default 1)")
+    p.add_argument("--queue-limit", type=int, default=4, metavar="N",
+                   help="max invocations waiting per server before "
+                        "admission is refused (default 4)")
+    p.add_argument("--arrival", default="uniform",
+                   choices=["uniform", "poisson", "burst"],
+                   help="device start pattern (default uniform)")
+    p.add_argument("--spacing", type=float, default=0.002,
+                   metavar="SECONDS",
+                   help="mean gap between device starts (default 2 ms)")
+    p.add_argument("--workload", default=FLEET_MICRO_WORKLOAD,
+                   help=f"workload every device runs (default "
+                        f"{FLEET_MICRO_WORKLOAD!r}, a built-in hot "
+                        f"kernel; any `list` name works)")
+    p.add_argument("--network", default="802.11ac",
+                   help=f"one of {sorted(NETWORKS)}")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the fleet summary as JSON")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="write the merged fleet trace as JSON Lines")
+    _add_fault_args(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", help="1|2|3|4|5")

@@ -1,0 +1,25 @@
+"""Fleet-scale offloading: many devices sharing a contended server pool.
+
+The paper evaluates one mobile device against one dedicated server; this
+package answers the production question — what happens to its speedups
+when N devices share M servers — without touching a line of session
+logic.  Devices are plain :class:`~repro.runtime.session.OffloadSession`
+instances wired to a shared :class:`~repro.fleet.pool.ServerPool`
+through the :class:`~repro.runtime.backend.OffloadDispatcher` seam, and
+a deterministic discrete-event :class:`FleetScheduler` serializes their
+interactions (docs/fleet.md).
+"""
+
+from .clock import EventQueue, SimClock
+from .pool import PoolOptions, ServerPool, ServerStats
+from .scheduler import (DeviceOutcome, DeviceSpec, FleetResult,
+                        FleetScheduler, arrival_offsets)
+from .seeding import SeedFanout, derive_seed
+
+__all__ = [
+    "EventQueue", "SimClock",
+    "PoolOptions", "ServerPool", "ServerStats",
+    "DeviceOutcome", "DeviceSpec", "FleetResult", "FleetScheduler",
+    "arrival_offsets",
+    "SeedFanout", "derive_seed",
+]

@@ -1,0 +1,178 @@
+"""The contended server pool: capacity slots and bounded queues.
+
+Replaces the paper's dedicated offload server with N servers of
+``capacity`` execution slots each.  Admission is hindsight-exact because
+the fleet scheduler serves requests in global-arrival order *after* the
+previous occupant's release has been recorded (the thread-lockstep
+rendezvous in ``scheduler.py``), so each slot's ``busy_until`` is an
+actual completion time, never a guess:
+
+* ``admit`` routes a request to the (wait, server-id)-least pair among
+  servers whose queue still has room, returning an
+  :class:`~repro.runtime.backend.Admission` whose ``queue_seconds`` the
+  device charges to its timeline and battery exactly like link time;
+* a request finding every eligible queue full gets a
+  :class:`~repro.runtime.backend.Rejection` quoting the wait it would
+  have faced — the device degrades to local execution and the quote
+  feeds the estimator's contention term (docs/fleet.md);
+* ``priority`` requests may use the ``priority_reserve`` tail of each
+  queue that ordinary requests must leave free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..runtime.backend import Admission, Rejection
+
+
+@dataclass(frozen=True)
+class PoolOptions:
+    """Shape of the server pool."""
+
+    servers: int = 1
+    capacity: int = 1              # concurrent invocations per server
+    # Max invocations *waiting* (service not yet started) per server;
+    # None = unbounded, 0 = admit only into an idle slot.
+    queue_limit: Optional[int] = None
+    # Queue positions only priority requests may take.  Must leave at
+    # least one ordinary position unless the queue is entirely reserved.
+    priority_reserve: int = 0
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ValueError("pool needs at least one server")
+        if self.capacity <= 0:
+            raise ValueError("servers need at least one slot")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if self.priority_reserve < 0:
+            raise ValueError("priority_reserve must be >= 0")
+        if (self.queue_limit is not None
+                and self.priority_reserve > self.queue_limit):
+            raise ValueError("priority_reserve exceeds queue_limit")
+
+
+@dataclass
+class ServerStats:
+    """Per-server accounting, reported by the fleet summary."""
+
+    server_id: int
+    admitted: int = 0
+    rejected: int = 0
+    busy_seconds: float = 0.0       # slot-seconds actually in service
+    queue_delay_total: float = 0.0  # sum of admitted waits
+    queued_admissions: int = 0      # admissions that had to wait
+    max_queue_depth: int = 0
+
+    def utilization(self, horizon_s: float, capacity: int) -> float:
+        if horizon_s <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (horizon_s * capacity))
+
+
+class _Server:
+    def __init__(self, server_id: int, capacity: int):
+        self.id = server_id
+        self.slots = [0.0] * capacity   # busy_until, from actual releases
+        self.pending_starts: List[float] = []
+        self.stats = ServerStats(server_id=server_id)
+
+    def purge(self, arrival_t: float) -> None:
+        self.pending_starts = [s for s in self.pending_starts
+                               if s > arrival_t]
+
+    def best_slot(self, arrival_t: float):
+        idx = min(range(len(self.slots)), key=lambda i: (self.slots[i], i))
+        return idx, max(0.0, self.slots[idx] - arrival_t)
+
+
+class ServerPool:
+    """Admission control for a fleet of devices sharing N servers."""
+
+    def __init__(self, options: Optional[PoolOptions] = None):
+        self.options = options or PoolOptions()
+        self._servers = [_Server(i, self.options.capacity)
+                         for i in range(self.options.servers)]
+        self._outstanding = 0
+        self.total_rejected = 0
+
+    # -- admission -----------------------------------------------------
+    def admit(self, target_name: str, arrival_t: float,
+              priority: bool = False) -> Union[Admission, Rejection]:
+        """Route one offload request arriving at global ``arrival_t``.
+
+        Must be called in nondecreasing arrival order with every prior
+        admission already released (the scheduler's lockstep guarantees
+        this; direct users replay history admit/release-interleaved).
+        """
+        if self._outstanding:
+            raise RuntimeError(
+                "admit() with an unreleased admission outstanding — "
+                "requests must be served in discrete-event order "
+                "(docs/fleet.md, 'Scheduling model')")
+        best = None         # (wait, server, slot_idx)
+        min_wait = None     # across all servers, for the rejection quote
+        for server in self._servers:
+            server.purge(arrival_t)
+            slot_idx, wait = server.best_slot(arrival_t)
+            if min_wait is None or wait < min_wait:
+                min_wait = wait
+            if wait > 0.0 and self.options.queue_limit is not None:
+                limit = self.options.queue_limit
+                if not priority:
+                    limit -= self.options.priority_reserve
+                if len(server.pending_starts) >= limit:
+                    continue    # this queue is full for us
+            if best is None or (wait, server.id) < (best[0], best[1].id):
+                best = (wait, server, slot_idx)
+        if best is None:
+            self.total_rejected += 1
+            # charge the refusal to the server that was closest to free
+            closest = min(self._servers,
+                          key=lambda s: (s.best_slot(arrival_t)[1], s.id))
+            closest.stats.rejected += 1
+            return Rejection(estimated_wait_s=min_wait or 0.0)
+        wait, server, slot_idx = best
+        start = arrival_t + wait
+        server.slots[slot_idx] = start   # resolved by release()
+        stats = server.stats
+        stats.admitted += 1
+        stats.queue_delay_total += wait
+        if wait > 0.0:
+            server.pending_starts.append(start)
+            stats.queued_admissions += 1
+            stats.max_queue_depth = max(stats.max_queue_depth,
+                                        len(server.pending_starts))
+        self._outstanding += 1
+        return Admission(server_id=server.id, queue_seconds=wait,
+                         start_s=start, token=(server.id, slot_idx, start))
+
+    def release(self, admission: Admission, end_t: float) -> None:
+        """The admitted invocation finished at global ``end_t``."""
+        server_id, slot_idx, start = admission.token
+        server = self._servers[server_id]
+        if end_t < start:
+            raise RuntimeError(
+                f"release at {end_t} before service start {start}")
+        server.slots[slot_idx] = end_t
+        server.stats.busy_seconds += end_t - start
+        self._outstanding -= 1
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def stats(self) -> List[ServerStats]:
+        return [s.stats for s in self._servers]
+
+    @property
+    def total_admitted(self) -> int:
+        return sum(s.stats.admitted for s in self._servers)
+
+    @property
+    def total_queue_delay_s(self) -> float:
+        return sum(s.stats.queue_delay_total for s in self._servers)
+
+    def utilization(self, horizon_s: float) -> Dict[int, float]:
+        return {s.id: s.stats.utilization(horizon_s, self.options.capacity)
+                for s in self._servers}

@@ -1,0 +1,342 @@
+"""The fleet scheduler: N device sessions against one server pool.
+
+Scheduling model (docs/fleet.md).  Each device runs a completely
+ordinary :class:`~repro.runtime.session.OffloadSession` whose
+``dispatcher`` option points back here.  The session executes on its own
+thread, but the scheduler keeps the whole fleet in *lockstep*: at most
+one device thread ever runs, and control passes at exactly the points
+where devices interact — admission requests.  The rendezvous makes the
+simulation a deterministic discrete-event system:
+
+1. every device runs until it blocks on ``admit`` or finishes;
+2. the scheduler pops the earliest pending request — ordered by
+   ``(global arrival time, device index)`` through the
+   :class:`~repro.fleet.clock.EventQueue` — serves it against the
+   :class:`~repro.fleet.pool.ServerPool`, and resumes that one device;
+3. the device charges the admission's queueing delay (or the rejection's
+   local fallback) into its own timeline and energy, releases the slot
+   when the invocation completes, and eventually blocks again.
+
+Because a device's requests are monotone in time and its release always
+precedes its next request, every ``admit`` observes fully-resolved slot
+times — the pool never guesses (pool.py's hindsight-exactness).
+Global time is session-local time plus the device's start offset, so one
+merged trace covers the fleet (``FleetResult.merged_events``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..runtime.backend import Admission, OffloadDispatcher, Rejection
+from ..runtime.session import OffloadSession, SessionOptions, SessionResult
+from ..trace.tracer import TraceEvent
+from .clock import EventQueue, SimClock
+from .pool import ServerPool
+
+#: How long (wall-clock) the scheduler waits for a device thread to
+#: reach its next rendezvous before declaring the lockstep broken.
+RENDEZVOUS_TIMEOUT_S = 300.0
+
+
+@dataclass
+class DeviceSpec:
+    """One device of the fleet."""
+
+    device_id: str
+    program: object                 # compiled OffloadProgram
+    network: object                 # NetworkModel
+    stdin: bytes = b""
+    files: Optional[Dict[str, bytes]] = None
+    start_offset_s: float = 0.0     # global time the device starts
+    options: Optional[SessionOptions] = None
+    priority: bool = False          # may use the pool's reserved queue tail
+
+
+def arrival_offsets(pattern: str, devices: int, spacing_s: float,
+                    rng) -> List[float]:
+    """Start offsets for ``devices`` devices.
+
+    * ``uniform`` — fixed ``spacing_s`` between consecutive starts;
+    * ``poisson`` — exponential inter-arrivals with mean ``spacing_s``,
+      drawn from ``rng`` (a fan-out child, never a shared global);
+    * ``burst`` — everyone at t=0, the worst case for the pool.
+    """
+    if pattern == "uniform":
+        return [i * spacing_s for i in range(devices)]
+    if pattern == "poisson":
+        offsets, t = [], 0.0
+        for _ in range(devices):
+            offsets.append(t)
+            t += rng.expovariate(1.0 / spacing_s) if spacing_s > 0 else 0.0
+        return offsets
+    if pattern == "burst":
+        return [0.0] * devices
+    raise ValueError(f"unknown arrival pattern {pattern!r}")
+
+
+class _PooledDispatcher(OffloadDispatcher):
+    """The session-side end of the rendezvous: blocks the device thread
+    until the scheduler has served its admission request."""
+
+    def __init__(self, worker: "_DeviceWorker"):
+        self.worker = worker
+
+    def admit(self, target_name: str, now_s: float):
+        return self.worker.request_admission(target_name, now_s)
+
+    def release(self, admission: Admission, now_s: float) -> None:
+        self.worker.release_slot(admission, now_s)
+
+
+class _DeviceWorker:
+    """One device session on its own thread, lockstepped by events."""
+
+    def __init__(self, index: int, spec: DeviceSpec, pool: ServerPool,
+                 timeout_s: float):
+        self.index = index
+        self.spec = spec
+        self.pool = pool
+        self.timeout_s = timeout_s
+        self.offset = spec.start_offset_s
+        # quiescent: the device is blocked on admission or finished —
+        # the only states in which the scheduler may act.
+        self.quiescent = threading.Event()
+        self.resume = threading.Event()
+        self.done = threading.Event()
+        self.pending = None         # (target_name, global_arrival_t)
+        self.outcome = None         # Admission | Rejection handed back
+        self.result: Optional[SessionResult] = None
+        self.error: Optional[BaseException] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"fleet-{spec.device_id}", daemon=True)
+
+    # -- device thread -------------------------------------------------
+    def _run(self) -> None:
+        try:
+            base = self.spec.options or SessionOptions()
+            options = replace(base,
+                              dispatcher=_PooledDispatcher(self),
+                              session_id=self.spec.device_id)
+            session = OffloadSession(self.spec.program, self.spec.network,
+                                     options=options,
+                                     stdin=self.spec.stdin,
+                                     files=self.spec.files)
+            self.result = session.run()
+        except BaseException as exc:    # surfaced by the scheduler
+            self.error = exc
+        finally:
+            self.done.set()
+            self.quiescent.set()
+
+    def request_admission(self, target_name: str, now_s: float):
+        self.pending = (target_name, self.offset + now_s)
+        self.quiescent.set()
+        if not self.resume.wait(self.timeout_s):
+            raise RuntimeError(
+                f"{self.spec.device_id}: scheduler never served the "
+                f"admission request (lockstep rendezvous broken)")
+        self.resume.clear()
+        outcome, self.outcome = self.outcome, None
+        return outcome
+
+    def release_slot(self, admission: Admission, now_s: float) -> None:
+        # Lockstep means this device thread is the only one running, so
+        # the pool needs no lock here.
+        self.pool.release(admission, self.offset + now_s)
+
+    # -- scheduler side ------------------------------------------------
+    def serve(self, outcome) -> None:
+        self.pending = None
+        self.outcome = outcome
+        self.quiescent.clear()
+        self.resume.set()
+        if not self.quiescent.wait(self.timeout_s):
+            raise RuntimeError(
+                f"{self.spec.device_id}: device thread never reached "
+                f"its next rendezvous")
+
+
+@dataclass
+class DeviceOutcome:
+    """One device's run, placed on the global timeline."""
+
+    device_id: str
+    index: int
+    start_offset_s: float
+    priority: bool
+    result: SessionResult
+
+    @property
+    def completion_s(self) -> float:
+        """Global time the device's whole program finished."""
+        return self.start_offset_s + self.result.total_seconds
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced."""
+
+    devices: List[DeviceOutcome]
+    pool: ServerPool
+    makespan_s: float
+
+    def summary(self) -> dict:
+        """The JSON-safe fleet report (stable key order; two same-seed
+        runs serialize byte-identically — tests/test_fleet.py)."""
+        results = [d.result for d in self.devices]
+        total_inv = sum(len(r.invocations) for r in results)
+        offloaded = sum(r.offloaded_invocations for r in results)
+        declined = sum(r.declined_invocations for r in results)
+        rejected = sum(r.rejected_invocations for r in results)
+        aborted = sum(r.aborted_invocations for r in results)
+        fallbacks = sum(r.local_fallbacks for r in results)
+        queue_s = sum(r.queue_seconds for r in results)
+        completions = [d.completion_s for d in self.devices]
+        queued = sum(s.queued_admissions for s in self.pool.stats)
+        opts = self.pool.options
+        return {
+            "devices": len(self.devices),
+            "servers": opts.servers,
+            "capacity": opts.capacity,
+            "queue_limit": opts.queue_limit,
+            "makespan_s": self.makespan_s,
+            "throughput_invocations_per_s": (
+                total_inv / self.makespan_s if self.makespan_s > 0
+                else 0.0),
+            "completion_s": {
+                "p50": _percentile(completions, 0.50),
+                "p95": _percentile(completions, 0.95),
+                "max": max(completions) if completions else 0.0,
+            },
+            "invocations": {
+                "total": total_inv,
+                "offloaded": offloaded,
+                "declined": declined,
+                "rejected": rejected,
+                "aborted": aborted,
+                "local_fallbacks": fallbacks,
+            },
+            "decline_rate": (
+                (total_inv - offloaded) / total_inv if total_inv else 0.0),
+            "queue": {
+                "total_delay_s": queue_s,
+                "mean_delay_s": (
+                    queue_s / queued if queued else 0.0),
+                "queued_admissions": queued,
+            },
+            "servers_detail": [
+                {
+                    "id": s.server_id,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "busy_seconds": s.busy_seconds,
+                    "queue_delay_s": s.queue_delay_total,
+                    "max_queue_depth": s.max_queue_depth,
+                    "utilization": s.utilization(self.makespan_s,
+                                                 opts.capacity),
+                }
+                for s in self.pool.stats
+            ],
+            "energy_mj_total": sum(r.energy_mj for r in results),
+        }
+
+    def merged_events(self) -> List[TraceEvent]:
+        """One fleet-wide trace: every device's events shifted onto the
+        global timeline, ordered by (time, device index, seq).  Events
+        already carry the device's session id (``sid``)."""
+        merged = []
+        for device in self.devices:
+            tracer = device.result.trace
+            if tracer is None:
+                continue
+            for e in tracer.events():
+                merged.append((e.t + device.start_offset_s, device.index,
+                               e.seq, e))
+        merged.sort(key=lambda item: item[:3])
+        return [TraceEvent(t=t, seq=e.seq, category=e.category,
+                           name=e.name, dur=e.dur, payload=e.payload,
+                           sid=e.sid)
+                for t, _, _, e in merged]
+
+
+class FleetScheduler:
+    """Run a fleet of device sessions against one server pool."""
+
+    def __init__(self, devices: List[DeviceSpec], pool: ServerPool,
+                 rendezvous_timeout_s: float = RENDEZVOUS_TIMEOUT_S):
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        self.pool = pool
+        self.clock = SimClock()
+        self._workers = [_DeviceWorker(i, spec, pool,
+                                       rendezvous_timeout_s)
+                         for i, spec in enumerate(devices)]
+
+    def run(self) -> FleetResult:
+        workers = self._workers
+        # Sequential start: each device runs to its first rendezvous
+        # alone, so even session construction is fully serialized.
+        for w in workers:
+            w.thread.start()
+            if not w.quiescent.wait(w.timeout_s):
+                raise RuntimeError(
+                    f"{w.spec.device_id}: device never reached its "
+                    f"first rendezvous")
+            self._check(w)
+
+        queue = EventQueue()
+        enqueued = set()
+        while True:
+            for w in workers:
+                self._check(w)
+                if (w.pending is not None and not w.done.is_set()
+                        and w.index not in enqueued):
+                    queue.push(w.pending[1], w.index)
+                    enqueued.add(w.index)
+            if not queue:
+                break
+            arrival_t, index, _ = queue.pop()
+            enqueued.discard(index)
+            worker = workers[index]
+            target_name, pending_t = worker.pending
+            self.clock.advance_to(arrival_t)
+            outcome = self.pool.admit(target_name, pending_t,
+                                      priority=worker.spec.priority)
+            worker.serve(outcome)
+
+        for w in workers:
+            w.thread.join(w.timeout_s)
+            self._check(w)
+            if w.result is None:
+                raise RuntimeError(
+                    f"{w.spec.device_id}: device finished without a "
+                    f"session result")
+
+        outcomes = [DeviceOutcome(device_id=w.spec.device_id,
+                                  index=w.index,
+                                  start_offset_s=w.offset,
+                                  priority=w.spec.priority,
+                                  result=w.result)
+                    for w in workers]
+        makespan = max(o.completion_s for o in outcomes)
+        return FleetResult(devices=outcomes, pool=self.pool,
+                           makespan_s=makespan)
+
+    def _check(self, worker: _DeviceWorker) -> None:
+        if worker.error is not None:
+            raise RuntimeError(
+                f"device {worker.spec.device_id} failed"
+            ) from worker.error

@@ -18,6 +18,7 @@ DEFAULT_POWER_MW: Dict[str, float] = {
     "idle": 300.0,
     "compute": 3100.0,       # local CPU-bound execution
     "wait": 1350.0,          # waiting for the server during offload
+    "queue": 1350.0,         # waiting for a pooled server slot (fleet)
     "receive": 2000.0,
     "transmit_fast": 2000.0,  # 802.11ac transmission draw floor
     "transmit_slow": 1700.0,  # 802.11n draws less per unit time (Fig. 8c)

@@ -16,8 +16,10 @@ from .uva import PrefetchAdvisor, UVAManager, UVAStats
 from .dynamic_estimator import (DynamicPerformanceEstimator, GainEstimate,
                                 TargetRuntimeState)
 from .prediction import BandwidthPredictor, PredictionRecord
-from .session import (InvocationRecord, OffloadSession, SessionOptions,
-                      SessionResult)
+from .backend import (Admission, DirectDispatcher, ExecutionBackend,
+                      InvocationRecord, LocalBackend, OffloadDispatcher,
+                      Rejection, RemoteBackend)
+from .session import OffloadSession, SessionOptions, SessionResult
 from .local import LocalRunResult, run_local
 
 __all__ = [
@@ -35,6 +37,8 @@ __all__ = [
     "UnmappableFunctionPointer",
     "PrefetchAdvisor", "UVAManager", "UVAStats",
     "DynamicPerformanceEstimator", "GainEstimate", "TargetRuntimeState",
+    "Admission", "DirectDispatcher", "ExecutionBackend",
+    "LocalBackend", "OffloadDispatcher", "Rejection", "RemoteBackend",
     "InvocationRecord", "OffloadSession", "SessionOptions", "SessionResult",
     "LocalRunResult", "run_local",
 ]

@@ -1,0 +1,501 @@
+"""Execution backends: the seam between *deciding* where an offload
+target runs and the machinery that actually runs it.
+
+Historically :class:`repro.runtime.session.OffloadSession` hard-wired the
+whole offload protocol — initialization, server execution, finalization,
+abort-and-replay — inside one private method, which made it impossible to
+point the same session logic at anything other than its single dedicated
+server.  This module extracts that machinery behind a small protocol:
+
+* :class:`ExecutionBackend` — the surface every backend implements:
+  ``estimate`` (what would running here gain?), ``execute`` (run one
+  invocation of a target) and ``abort`` (tear down a failed invocation).
+* :class:`LocalBackend` — executes the target on the mobile device using
+  a sub-interpreter that shares the suspended caller's stack.  Used for
+  the replay after a mid-invocation link failure and for invocations the
+  server pool refuses to admit.
+* :class:`RemoteBackend` — the full offload protocol over the
+  transport/UVA/communication stack, bit-identical to the pre-seam
+  session (guarded by the differential test in ``tests/test_fleet.py``).
+
+The remote backend additionally consults an :class:`OffloadDispatcher`
+before starting an invocation.  The default (``dispatcher=None`` — the
+paper's one-device/one-server world) performs no admission work at all;
+a :class:`repro.fleet.scheduler.FleetScheduler` instead wires each device
+session to a shared :class:`repro.fleet.pool.ServerPool`, so admission
+can carry a queueing delay (charged to the device timeline and battery
+exactly as link time is) or be refused outright, in which case the
+invocation degrades to :class:`LocalBackend` (docs/fleet.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from ..machine.interpreter import Interpreter
+from ..offload.partition import OffloadTarget
+from .transport import LinkDownError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dynamic_estimator import GainEstimate
+    from .session import OffloadSession
+
+
+@dataclass
+class InvocationRecord:
+    """Accounting for one dynamic offload decision site execution."""
+
+    target: str
+    offloaded: bool
+    init_seconds: float = 0.0
+    server_seconds: float = 0.0
+    cod_seconds: float = 0.0
+    remote_io_seconds: float = 0.0
+    fnptr_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    bytes_to_server: int = 0
+    bytes_to_mobile: int = 0
+    cod_faults: int = 0
+    local_seconds: float = 0.0
+    # Mid-invocation failure accounting: an aborted invocation burned
+    # `wasted_seconds` on the dead link in `abort_phase`
+    # (init/exec/finalize), then replayed the target locally
+    # (`fallback_local`).
+    aborted: bool = False
+    abort_phase: Optional[str] = None
+    fallback_local: bool = False
+    wasted_seconds: float = 0.0
+    # Fleet accounting (docs/fleet.md): time spent queued for a server
+    # slot, which server served the invocation, and whether the pool
+    # refused admission (the invocation then ran locally).
+    queue_seconds: float = 0.0
+    server_id: Optional[int] = None
+    rejected: bool = False
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.bytes_to_server + self.bytes_to_mobile
+
+
+@dataclass(frozen=True)
+class Admission:
+    """A granted server slot for one offload invocation."""
+
+    server_id: int = 0
+    queue_seconds: float = 0.0    # time the device waits before service
+    start_s: float = 0.0          # global fleet time service begins
+    token: object = None          # pool-internal reservation handle
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Admission refused: every eligible queue was full."""
+
+    estimated_wait_s: float = 0.0  # the wait the job would have faced
+
+
+class OffloadDispatcher:
+    """Where :class:`RemoteBackend` asks for a server.
+
+    ``admit`` receives the target name and the *session-local* current
+    time and returns an :class:`Admission` or a :class:`Rejection`;
+    ``release`` hands the slot back at the session-local end time.  Fleet
+    dispatchers translate session-local time to global fleet time by
+    adding the device's start offset.
+    """
+
+    def admit(self, target_name: str, now_s: float):
+        raise NotImplementedError
+
+    def release(self, admission: Admission, now_s: float) -> None:
+        raise NotImplementedError
+
+
+class DirectDispatcher(OffloadDispatcher):
+    """The paper's dedicated server: admission is immediate and free."""
+
+    def admit(self, target_name: str, now_s: float) -> Admission:
+        return Admission(server_id=0, queue_seconds=0.0, start_s=now_s)
+
+    def release(self, admission: Admission, now_s: float) -> None:
+        pass
+
+
+class ExecutionBackend:
+    """One way of executing an offload target's invocation."""
+
+    name = "backend"
+
+    def estimate(self, target: OffloadTarget) -> Optional["GainEstimate"]:
+        """The gain of executing ``target`` on this backend (None when
+        the backend has no gain model — local execution is the
+        baseline every estimate is relative to)."""
+        raise NotImplementedError
+
+    def execute(self, target: OffloadTarget, interp: Interpreter,
+                args: List):
+        """Run one invocation of ``target``; returns its return value."""
+        raise NotImplementedError
+
+    def abort(self, target: OffloadTarget, interp: Interpreter,
+              args: List, record: InvocationRecord) -> None:
+        """Tear down a failed invocation (no-op for backends without
+        distributed state)."""
+        raise NotImplementedError
+
+
+class LocalBackend(ExecutionBackend):
+    """Execute the target on the mobile device itself.
+
+    The invocation runs on a sub-interpreter sharing the suspended
+    interpreter's stack pointer — a fresh interpreter would start at
+    stack_top and clobber the live frames of the suspended caller.  Its
+    cycles are charged (unscaled) to the main interpreter so the run is
+    ordinary mobile compute time on the timeline and in the energy
+    model, and its observer feeds the dynamic estimator an observed
+    local execution time for the target.
+    """
+
+    name = "local"
+
+    def __init__(self, session: "OffloadSession"):
+        self.session = session
+
+    def estimate(self, target: OffloadTarget) -> Optional["GainEstimate"]:
+        return None  # local execution is the gain baseline
+
+    def execute(self, target: OffloadTarget, interp: Interpreter,
+                args: List, record: Optional[InvocationRecord] = None):
+        session = self.session
+        fn = session.mobile.module.function(target.name)
+        sub = Interpreter(session.mobile, observer=interp.observer,
+                          max_instructions=session.options.max_instructions)
+        sub.sp = interp.sp
+        result = sub.call_function(fn, args)
+        interp.charge_raw_cycles(sub.cycles)
+        session._replay_instructions += sub.instruction_count
+        if record is not None:
+            record.fallback_local = True
+            record.local_seconds = sub.time_seconds
+        tr = session.tracer
+        if tr.enabled:
+            tr.emit("offload.fallback", target.name,
+                    seconds=sub.time_seconds,
+                    instructions=sub.instruction_count)
+            tr.metrics.counter("offload.fallbacks").inc()
+        return result
+
+    def abort(self, target: OffloadTarget, interp: Interpreter,
+              args: List, record: InvocationRecord) -> None:
+        pass  # nothing distributed to tear down
+
+
+class RemoteBackend(ExecutionBackend):
+    """The full offload protocol of the paper's Figure 5, over the
+    session's transport/UVA/communication stack."""
+
+    name = "remote"
+
+    def __init__(self, session: "OffloadSession",
+                 dispatcher: Optional[OffloadDispatcher] = None):
+        self.session = session
+        # None (the default) is the dedicated-server fast path: no
+        # admission bookkeeping at all, preserving bit-identical
+        # single-session arithmetic.  Fleet runs substitute a pooled
+        # dispatcher here.
+        self.dispatcher = dispatcher
+
+    def estimate(self, target: OffloadTarget) -> Optional["GainEstimate"]:
+        return self.session.estimator.estimate(target)
+
+    # -- the offload protocol -----------------------------------------
+    def execute(self, target: OffloadTarget, interp: Interpreter,
+                args: List):
+        session = self.session
+        opts = session.options
+        zero = opts.zero_overhead
+        tr = session.tracer
+        session._mark_compute()
+        record = InvocationRecord(target=target.name, offloaded=True)
+        comm_before = session.comm.stats
+        bytes_s0 = comm_before.bytes_to_server
+        bytes_m0 = comm_before.bytes_to_mobile
+        faults0 = session.uva.stats.cod_faults
+
+        # ---- admission (fleet only) -------------------------------
+        admission: Optional[Admission] = None
+        if self.dispatcher is not None:
+            outcome = self.dispatcher.admit(target.name, session.now())
+            if isinstance(outcome, Rejection):
+                return self._rejected(target, interp, args, record,
+                                      outcome)
+            admission = outcome
+            record.server_id = admission.server_id
+            if admission.queue_seconds > 0.0:
+                record.queue_seconds = admission.queue_seconds
+                if tr.enabled:
+                    tr.emit("offload.queue", target.name,
+                            dur=admission.queue_seconds,
+                            server=admission.server_id)
+                    tr.metrics.counter("offload.queue_seconds").inc(
+                        admission.queue_seconds)
+                if not zero:
+                    session._advance(admission.queue_seconds, "queue")
+
+        # Observable-state snapshot for abort-and-replay: remote I/O
+        # mutates the mobile environment mid-execution, so a failed
+        # invocation must roll those effects back before the local
+        # replay.  Only taken on a faulty link — the fault-free path
+        # does no extra work (the zero-fault no-op invariant).
+        io_snapshot = (session.mobile.io.snapshot()
+                       if session._faulty else None)
+        if tr.enabled:
+            prefetch_pages0 = session.uva.stats.prefetched_pages
+            fnptr_seconds0 = session.fnptr_seconds
+            fnptr_lookups0 = session._fnptr_lookups
+            writeback_pages0 = session.uva.stats.written_back_pages
+            writeback_bytes0 = session.uva.stats.written_back_bytes
+
+        # ---- initialization (Figure 5) ----------------------------
+        # One batched message carries the offload request, the page
+        # table, the allocator state and the prefetched pages.
+        session.uva.begin_invocation(target.name)
+        comm_phase0 = session.comm.stats.comm_seconds
+        session.comm.begin_batch(to_server=True)
+        try:
+            init_seconds = session.uva.synchronize_page_table()
+            init_seconds += session.uva.push_allocator_state()
+            if opts.enable_prefetch:
+                init_seconds += session.uva.prefetch(
+                    session._prefetch_pages(target.name, interp.sp))
+            # offload request: target id, stack pointer, argument regs
+            request = 32 + 16 * len(args)
+            init_seconds += session.comm.send_to_server(
+                [b"\x00" * request]).seconds
+            init_seconds += session.comm.flush_batch().seconds
+        except LinkDownError:
+            return self._abort(
+                target, interp, args, record, "init",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "transmit", io_snapshot, admission)
+        if zero:
+            init_seconds = 0.0
+        record.init_seconds = init_seconds
+        if tr.enabled:
+            tr.emit("offload.init", target.name, dur=init_seconds,
+                    prefetch_pages=(session.uva.stats.prefetched_pages
+                                    - prefetch_pages0),
+                    bytes_to_server=(session.comm.stats.bytes_to_server
+                                     - bytes_s0),
+                    args=len(args))
+            tr.metrics.counter("offload.invocations").inc()
+            tr.metrics.histogram("offload.init_seconds").observe(
+                init_seconds)
+        session._advance(init_seconds, "transmit",
+                         session.meter.transmit_power(
+                             0.9, session.network.slow))
+
+        # ---- offloading execution ---------------------------------
+        session.server.memory.clear_dirty()
+        server_interp = Interpreter(
+            session.server, max_instructions=opts.max_instructions)
+        session._current_server_interp = server_interp
+        rio0 = session._rio_pending
+        session._rio_pending = 0.0
+        cod0 = session.uva.stats.cod_seconds
+        comm_phase0 = session.comm.stats.comm_seconds
+        fn = session.server.module.function(target.name)
+        try:
+            result = server_interp.call_function(fn, args)
+        except LinkDownError:
+            # A CoD fault or remote I/O burst hit a dead link while the
+            # server was computing.  The partial server work is real
+            # wall time the mobile device waited through; charge it,
+            # then abort and replay.
+            session._current_server_interp = None
+            session._rio_pending = rio0
+            partial = server_interp.time_seconds
+            record.server_seconds = partial
+            session.server_instructions += server_interp.instruction_count
+            session.server_compute_seconds += partial
+            if not zero:
+                session._advance(partial, "wait")
+            return self._abort(
+                target, interp, args, record, "exec",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot, admission)
+        session._current_server_interp = None
+        cod_seconds = (0.0 if zero
+                       else session.uva.stats.cod_seconds - cod0)
+        rio_seconds = session._rio_pending
+        session._rio_pending = rio0
+        server_seconds = server_interp.time_seconds
+        session.server_instructions += server_interp.instruction_count
+        session.server_compute_seconds += server_seconds
+        record.server_seconds = server_seconds
+        record.cod_seconds = cod_seconds
+        record.remote_io_seconds = rio_seconds
+        if tr.enabled:
+            tr.emit("offload.exec", target.name, dur=server_seconds,
+                    instructions=server_interp.instruction_count,
+                    cod_faults=session.uva.stats.cod_faults - faults0,
+                    cod_seconds=cod_seconds,
+                    remote_io_seconds=rio_seconds)
+            tr.metrics.histogram("offload.server_seconds").observe(
+                server_seconds)
+            fnptr_lookups = session._fnptr_lookups - fnptr_lookups0
+            if fnptr_lookups:
+                tr.emit("fnptr.window", target.name,
+                        lookups=fnptr_lookups,
+                        seconds=session.fnptr_seconds - fnptr_seconds0)
+                tr.metrics.counter("fnptr.lookups").inc(fnptr_lookups)
+        # the mobile waits while the server computes; it receives during
+        # CoD transfers and services remote I/O bursts
+        session._advance(server_seconds, "wait")
+        session._advance(cod_seconds, "receive")
+        session._advance(rio_seconds, "remote_io")
+
+        # ---- finalization -----------------------------------------
+        # One batched, compressed message carries the termination
+        # signal, the return value, the dirty pages and the allocator
+        # state.  Transactional: the dirty pages and allocator state are
+        # staged (defer_commit) and applied only after the whole message
+        # survives the transport — a mid-finalize link death leaves
+        # mobile memory untouched (abort-and-replay invariant,
+        # DESIGN.md §5).
+        comm_phase0 = session.comm.stats.comm_seconds
+        session.comm.begin_batch(to_server=False)
+        try:
+            fin_seconds, _ = session.uva.write_back(defer_commit=True)
+            fin_seconds += session.uva.pull_allocator_state(
+                defer_commit=True)
+            fin_seconds += session.comm.send_to_mobile(
+                [b"\x00" * 64]).seconds
+            fin_seconds += session.comm.flush_batch().seconds
+        except LinkDownError:
+            return self._abort(
+                target, interp, args, record, "finalize",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot, admission)
+        session.uva.commit_finalize()
+        session.uva.end_invocation()
+        if zero:
+            fin_seconds = 0.0
+        record.finalize_seconds = fin_seconds
+        if tr.enabled:
+            tr.emit("offload.finalize", target.name, dur=fin_seconds,
+                    writeback_pages=(session.uva.stats.written_back_pages
+                                     - writeback_pages0),
+                    writeback_bytes=(session.uva.stats.written_back_bytes
+                                     - writeback_bytes0),
+                    bytes_to_server=(session.comm.stats.bytes_to_server
+                                     - bytes_s0),
+                    bytes_to_mobile=(session.comm.stats.bytes_to_mobile
+                                     - bytes_m0))
+            tr.metrics.histogram("offload.finalize_seconds").observe(
+                fin_seconds)
+        session._advance(fin_seconds, "receive")
+
+        record.bytes_to_server = (session.comm.stats.bytes_to_server
+                                  - bytes_s0)
+        record.bytes_to_mobile = (session.comm.stats.bytes_to_mobile
+                                  - bytes_m0)
+        record.cod_faults = session.uva.stats.cod_faults - faults0
+        if session.predictor is not None:
+            if init_seconds > 0:
+                session.predictor.observe_transfer(record.bytes_to_server,
+                                                   init_seconds)
+            if fin_seconds > 0:
+                session.predictor.observe_transfer(record.bytes_to_mobile,
+                                                   fin_seconds)
+        session.invocations.append(record)
+        session.estimator.record_offload_traffic(
+            target.name, record.traffic_bytes)
+        self._release(admission)
+        return result
+
+    # -- admission refused: degrade to local execution ----------------
+    def _rejected(self, target: OffloadTarget, interp: Interpreter,
+                  args: List, record: InvocationRecord,
+                  rejection: Rejection):
+        """Every eligible server queue was full.  The refused request
+        still cost one control round trip on the link; charge it, teach
+        the estimator the pool is saturated, and run the target on the
+        mobile device (docs/fleet.md, "Admission control")."""
+        session = self.session
+        record.offloaded = False
+        record.rejected = True
+        probe = 0.0
+        if not session.options.zero_overhead:
+            probe = session.network.round_trip_time(16, 16)
+            session._advance(probe, "wait")
+        record.wasted_seconds = probe
+        session.estimator.record_pool_rejection(
+            rejection.estimated_wait_s)
+        tr = session.tracer
+        if tr.enabled:
+            tr.emit("offload.reject", target.name,
+                    estimated_wait_s=rejection.estimated_wait_s,
+                    probe_seconds=probe)
+            tr.metrics.counter("offload.rejections").inc()
+        session.invocations.append(record)
+        return session.local_backend.execute(target, interp, args, record)
+
+    # -- mid-invocation failure: abort and replay locally --------------
+    def abort(self, target: OffloadTarget, interp: Interpreter,
+              args: List, record: InvocationRecord) -> None:
+        """Tear down the distributed state of a failed invocation:
+        discard the staged batch and every server-side effect."""
+        session = self.session
+        session._current_server_interp = None
+        session.comm.discard_batch()
+        session.uva.abort_invocation()
+
+    def _abort(self, target: OffloadTarget, interp: Interpreter,
+               args: List, record: InvocationRecord, phase: str,
+               wasted_seconds: float, power_state: str,
+               io_snapshot: Optional[dict],
+               admission: Optional[Admission]):
+        """The transport declared the link dead mid-invocation: discard
+        every server-side effect, roll the mobile environment back to
+        its pre-invocation state, charge the wasted wall time and replay
+        the target locally (docs/fault-model.md, "Fallback
+        semantics")."""
+        session = self.session
+        record.offloaded = False
+        record.aborted = True
+        record.abort_phase = phase
+        record.wasted_seconds = wasted_seconds
+        self.abort(target, interp, args, record)
+        if io_snapshot is not None:
+            session.mobile.io.restore(io_snapshot)
+        if not session.options.zero_overhead:
+            # "transmit" has no flat power figure: its draw scales with
+            # link utilization, exactly as on the successful init path.
+            power_mw = (session.meter.transmit_power(
+                            0.9, session.network.slow)
+                        if power_state == "transmit" else None)
+            session._advance(wasted_seconds, power_state, power_mw)
+        session.estimator.record_offload_failure(target.name)
+        self._release(admission)
+        tr = session.tracer
+        if tr.enabled:
+            tr.emit("offload.abort", target.name, phase=phase,
+                    wasted_seconds=wasted_seconds)
+            tr.metrics.counter("offload.aborts").inc()
+            tr.metrics.counter("offload.wasted_seconds").inc(
+                wasted_seconds)
+        session.invocations.append(record)
+        return session.local_backend.execute(target, interp, args, record)
+
+    def _release(self, admission: Optional[Admission]) -> None:
+        """Hand the server slot back and feed the observed queueing
+        delay into the estimator (the contention feedback loop of
+        docs/fleet.md)."""
+        if admission is None or self.dispatcher is None:
+            return
+        session = self.session
+        self.dispatcher.release(admission, session.now())
+        session.estimator.record_queue_delay(
+            admission.server_id, admission.queue_seconds)

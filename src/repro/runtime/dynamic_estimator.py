@@ -42,6 +42,10 @@ class TargetRuntimeState:
     # exponentially growing decision cooldown (see record_offload_failure).
     failures: int = 0
     cooldown: int = 0
+    # After an abort the next successful offload pays cold-path traffic
+    # again (the abort rollback purged the page cache), so its volume
+    # must replace the cold figure rather than pollute the warm EWMA.
+    cold_restart: bool = False
 
 
 @dataclass
@@ -54,9 +58,13 @@ class GainEstimate:
     t_ideal: float            # compute saving at the current ratio
     bandwidth: float          # bytes/s used for the comm term
     t_comm: float             # 2 * memory / bandwidth
-    gain: float               # t_ideal - t_comm
+    gain: float               # t_ideal - t_comm - t_queue
     observed_time: bool       # True when t_mobile came from observation
     observed_traffic: bool    # True when memory came from observation
+    # Expected server-pool queueing delay (0 outside fleet runs): the
+    # paper's Equation 1 generalized to contention — waiting for a slot
+    # costs the mobile exactly like waiting on the link does.
+    t_queue: float = 0.0
 
 
 class DynamicPerformanceEstimator:
@@ -81,6 +89,13 @@ class DynamicPerformanceEstimator:
         self.state: Dict[str, TargetRuntimeState] = {}
         self.last_estimate: Optional[GainEstimate] = None
         self.last_reason: Optional[str] = None
+        # Contention awareness (fleet runs): observed queueing delay per
+        # server id, EWMA-smoothed, plus the wait quoted by admission
+        # rejections.  Both stay empty in single-session runs, keeping
+        # t_queue identically zero there.
+        self.queue_delay_ewma: Dict[int, float] = {}
+        self.rejection_wait_ewma: Optional[float] = None
+        self.pool_rejections: int = 0
 
     def _state(self, name: str) -> TargetRuntimeState:
         return self.state.setdefault(name, TargetRuntimeState())
@@ -94,7 +109,13 @@ class DynamicPerformanceEstimator:
         # A completed offload proves the link carries traffic again.
         state.failures = 0
         state.cooldown = 0
-        if state.observed_traffic_bytes is None:
+        if state.cold_restart:
+            # First success after an abort: the rollback purged the page
+            # cache, so this volume is a cold figure — refresh it and
+            # leave the warm EWMA describing steady-state invocations.
+            state.observed_traffic_bytes = bytes_moved
+            state.cold_restart = False
+        elif state.observed_traffic_bytes is None:
             state.observed_traffic_bytes = bytes_moved
         elif state.warm_traffic_bytes is None:
             state.warm_traffic_bytes = bytes_moved
@@ -107,12 +128,48 @@ class DynamicPerformanceEstimator:
         an exponentially growing number of decisions before retrying."""
         state = self._state(name)
         state.failures += 1
+        state.cold_restart = True
         state.cooldown = min(2 ** (state.failures - 1),
                              MAX_FAILURE_COOLDOWN)
         if self.tracer.enabled:
             self.tracer.emit("estimate", name, gain_seconds=None,
                              failure_cooldown=state.cooldown,
                              failures=state.failures)
+
+    def record_queue_delay(self, server_id: int, seconds: float) -> None:
+        """One admission completed: fold the observed slot wait into the
+        per-server EWMA (0 seconds is an observation too — it is how an
+        idle pool talks a device back into offloading)."""
+        prev = self.queue_delay_ewma.get(server_id)
+        if prev is None:
+            self.queue_delay_ewma[server_id] = seconds
+        else:
+            self.queue_delay_ewma[server_id] = 0.5 * prev + 0.5 * seconds
+
+    def record_pool_rejection(self, estimated_wait_s: float) -> None:
+        """The pool refused admission outright, quoting the wait it
+        would have imposed; treat the quote as an observed delay."""
+        self.pool_rejections += 1
+        if self.rejection_wait_ewma is None:
+            self.rejection_wait_ewma = estimated_wait_s
+        else:
+            self.rejection_wait_ewma = (
+                0.5 * self.rejection_wait_ewma + 0.5 * estimated_wait_s)
+
+    def expected_queue_seconds(self) -> float:
+        """The queueing-delay term of the generalized Equation 1.
+
+        The dispatcher routes each request to the least-loaded server,
+        so the expectation is the *best* per-server EWMA — but a pool
+        that has been refusing admission is worse than its completed
+        admissions suggest, so the rejection quote acts as a floor.
+        """
+        expected = 0.0
+        if self.queue_delay_ewma:
+            expected = min(self.queue_delay_ewma.values())
+        if self.rejection_wait_ewma is not None:
+            expected = max(expected, self.rejection_wait_ewma)
+        return expected
 
     # -- the decision -------------------------------------------------
     def estimate(self, target: OffloadTarget) -> GainEstimate:
@@ -136,11 +193,14 @@ class DynamicPerformanceEstimator:
             bandwidth = self.predictor.predict_bps(
                 self.network.bandwidth_bps) / 8.0
         t_comm = 2.0 * memory / bandwidth
+        t_queue = self.expected_queue_seconds()
         return GainEstimate(t_mobile=t_mobile, memory_bytes=memory,
                             t_ideal=t_ideal, bandwidth=bandwidth,
-                            t_comm=t_comm, gain=t_ideal - t_comm,
+                            t_comm=t_comm,
+                            gain=t_ideal - t_comm - t_queue,
                             observed_time=observed_time,
-                            observed_traffic=observed_traffic)
+                            observed_traffic=observed_traffic,
+                            t_queue=t_queue)
 
     def estimate_gain(self, target: OffloadTarget) -> float:
         """Per-invocation Equation 1 with run-time values."""
@@ -164,7 +224,8 @@ class DynamicPerformanceEstimator:
             self.tracer.emit(
                 "estimate", target.name, gain_seconds=est.gain,
                 t_mobile=est.t_mobile, t_ideal=est.t_ideal,
-                t_comm=est.t_comm, memory_bytes=est.memory_bytes,
+                t_comm=est.t_comm, t_queue=est.t_queue,
+                memory_bytes=est.memory_bytes,
                 bandwidth_bytes_per_s=est.bandwidth,
                 observed_time=est.observed_time,
                 observed_traffic=est.observed_traffic)
@@ -172,5 +233,11 @@ class DynamicPerformanceEstimator:
             state.offloads += 1
             self.last_reason = "positive_gain"
             return True
-        self.last_reason = "negative_gain"
+        # Tell contention apart from a plain bad trade: the offload
+        # would have paid off on an idle pool but the expected slot wait
+        # eats the saving, so the device degrades to local execution.
+        if est.t_queue > 0 and est.gain + est.t_queue > 0:
+            self.last_reason = "queue_pressure"
+        else:
+            self.last_reason = "negative_gain"
         return False

@@ -28,6 +28,8 @@ from ..offload.partition import OffloadTarget, OFFLOAD_PREFIX, SHOULD_OFFLOAD
 from ..offload.pipeline import OffloadProgram
 from ..offload.server_opt import M2S_FCN_MAP, S2M_FCN_MAP
 from ..offload.unify import unified_data_layout
+from ..runtime.backend import (InvocationRecord, LocalBackend,
+                               OffloadDispatcher, RemoteBackend)
 from ..runtime.comm import CommunicationManager
 from ..runtime.dynamic_estimator import DynamicPerformanceEstimator
 from ..runtime.fcn_table import (FunctionAddressTable, MAP_LOOKUP_CYCLES)
@@ -81,36 +83,14 @@ class SessionOptions:
     fault_plan: Optional[FaultPlan] = None
     # Transport retry/backoff/reconnect budget; None uses the defaults.
     retry_policy: Optional[RetryPolicy] = None
-
-
-@dataclass
-class InvocationRecord:
-    """Accounting for one dynamic offload decision site execution."""
-
-    target: str
-    offloaded: bool
-    init_seconds: float = 0.0
-    server_seconds: float = 0.0
-    cod_seconds: float = 0.0
-    remote_io_seconds: float = 0.0
-    fnptr_seconds: float = 0.0
-    finalize_seconds: float = 0.0
-    bytes_to_server: int = 0
-    bytes_to_mobile: int = 0
-    cod_faults: int = 0
-    local_seconds: float = 0.0
-    # Mid-invocation failure accounting: an aborted invocation burned
-    # `wasted_seconds` on the dead link in `abort_phase`
-    # (init/exec/finalize), then replayed the target locally
-    # (`fallback_local`).
-    aborted: bool = False
-    abort_phase: Optional[str] = None
-    fallback_local: bool = False
-    wasted_seconds: float = 0.0
-
-    @property
-    def traffic_bytes(self) -> int:
-        return self.bytes_to_server + self.bytes_to_mobile
+    # Fleet wiring (docs/fleet.md).  `dispatcher` is where the remote
+    # backend asks for a server before each invocation — None (the
+    # default) is the paper's dedicated server and performs no admission
+    # work at all; a fleet scheduler substitutes a pooled dispatcher so
+    # admission can queue or refuse.  `session_id` tags every trace
+    # event so one merged timeline can cover a whole fleet.
+    dispatcher: Optional[OffloadDispatcher] = None
+    session_id: Optional[str] = None
 
 
 @dataclass
@@ -156,7 +136,17 @@ class SessionResult:
     @property
     def declined_invocations(self) -> int:
         return sum(1 for r in self.invocations
-                   if not r.offloaded and not r.aborted)
+                   if not r.offloaded and not r.aborted and not r.rejected)
+
+    @property
+    def rejected_invocations(self) -> int:
+        """Invocations the server pool refused to admit (fleet runs)."""
+        return sum(1 for r in self.invocations if r.rejected)
+
+    @property
+    def queue_seconds(self) -> float:
+        """Simulated time spent waiting for a server slot (fleet runs)."""
+        return sum(r.queue_seconds for r in self.invocations)
 
     @property
     def aborted_invocations(self) -> int:
@@ -165,8 +155,10 @@ class SessionResult:
 
     @property
     def local_fallbacks(self) -> int:
-        """Aborted invocations replayed locally (all of them, unless the
-        abort itself failed — which would have raised)."""
+        """Invocations that degraded to local execution after starting
+        down the offload path: aborted ones (all of them, unless the
+        abort itself failed — which would have raised) plus
+        pool-rejected ones."""
         return sum(1 for r in self.invocations if r.fallback_local)
 
     @property
@@ -251,7 +243,8 @@ class OffloadSession:
 
         # The structured tracer observes every runtime service; the
         # shared NULL_TRACER keeps the disabled path free of new work.
-        self.tracer = (Tracer(capacity=opts.trace_capacity, clock=self.now)
+        self.tracer = (Tracer(capacity=opts.trace_capacity, clock=self.now,
+                              sid=opts.session_id)
                        if opts.enable_tracing else NULL_TRACER)
         self.comm = CommunicationManager(
             network,
@@ -285,6 +278,14 @@ class OffloadSession:
             predictor=self.predictor, tracer=self.tracer,
             transport=self.comm.transport)
         self.meter = EnergyMeter(opts.power_mw)
+        # The execution-backend seam (repro.runtime.backend): the remote
+        # backend owns the offload protocol over the stack wired above;
+        # the local backend is the degradation path (aborts, pool
+        # rejections).  A fleet scheduler passes a pooled dispatcher
+        # through SessionOptions; None keeps the dedicated-server path
+        # bit-identical to the pre-seam session.
+        self.local_backend = LocalBackend(self)
+        self.remote_backend = RemoteBackend(self, dispatcher=opts.dispatcher)
 
         # Timeline bookkeeping (see _advance / _mark_compute).
         self.extra_seconds = 0.0      # non-compute wall time so far
@@ -624,242 +625,5 @@ class OffloadSession:
     # -- the offload protocol ----------------------------------------------
     def _make_offload_builtin(self, target: OffloadTarget):
         def builtin(interp: Interpreter, args):
-            return self._perform_offload(target, interp, list(args))
+            return self.remote_backend.execute(target, interp, list(args))
         return builtin
-
-    def _perform_offload(self, target: OffloadTarget, interp: Interpreter,
-                         args: List):
-        opts = self.options
-        zero = opts.zero_overhead
-        tr = self.tracer
-        self._mark_compute()
-        record = InvocationRecord(target=target.name, offloaded=True)
-        comm_before = self.comm.stats
-        bytes_s0 = comm_before.bytes_to_server
-        bytes_m0 = comm_before.bytes_to_mobile
-        faults0 = self.uva.stats.cod_faults
-        # Observable-state snapshot for abort-and-replay: remote I/O
-        # mutates the mobile environment mid-execution, so a failed
-        # invocation must roll those effects back before the local replay.
-        # Only taken on a faulty link — the fault-free path does no extra
-        # work (the zero-fault no-op invariant).
-        io_snapshot = self.mobile.io.snapshot() if self._faulty else None
-        if tr.enabled:
-            prefetch_pages0 = self.uva.stats.prefetched_pages
-            fnptr_seconds0 = self.fnptr_seconds
-            fnptr_lookups0 = self._fnptr_lookups
-            writeback_pages0 = self.uva.stats.written_back_pages
-            writeback_bytes0 = self.uva.stats.written_back_bytes
-
-        # ---- initialization (Figure 5) --------------------------------
-        # One batched message carries the offload request, the page table,
-        # the allocator state and the prefetched pages.
-        self.uva.begin_invocation(target.name)
-        comm_phase0 = self.comm.stats.comm_seconds
-        self.comm.begin_batch(to_server=True)
-        try:
-            init_seconds = self.uva.synchronize_page_table()
-            init_seconds += self.uva.push_allocator_state()
-            if opts.enable_prefetch:
-                init_seconds += self.uva.prefetch(
-                    self._prefetch_pages(target.name, interp.sp))
-            # offload request: target id, stack pointer, argument registers
-            request = 32 + 16 * len(args)
-            init_seconds += self.comm.send_to_server(
-                [b"\x00" * request]).seconds
-            init_seconds += self.comm.flush_batch().seconds
-        except LinkDownError:
-            return self._abort_offload(
-                target, interp, args, record, "init",
-                self.comm.stats.comm_seconds - comm_phase0,
-                "transmit", io_snapshot)
-        if zero:
-            init_seconds = 0.0
-        record.init_seconds = init_seconds
-        if tr.enabled:
-            tr.emit("offload.init", target.name, dur=init_seconds,
-                    prefetch_pages=(self.uva.stats.prefetched_pages
-                                    - prefetch_pages0),
-                    bytes_to_server=(self.comm.stats.bytes_to_server
-                                     - bytes_s0),
-                    args=len(args))
-            tr.metrics.counter("offload.invocations").inc()
-            tr.metrics.histogram("offload.init_seconds").observe(
-                init_seconds)
-        self._advance(init_seconds, "transmit",
-                      self.meter.transmit_power(0.9, self.network.slow))
-
-        # ---- offloading execution ------------------------------------
-        self.server.memory.clear_dirty()
-        server_interp = Interpreter(
-            self.server, max_instructions=opts.max_instructions)
-        self._current_server_interp = server_interp
-        rio0 = self._rio_pending
-        self._rio_pending = 0.0
-        cod0 = self.uva.stats.cod_seconds
-        comm_phase0 = self.comm.stats.comm_seconds
-        fn = self.server.module.function(target.name)
-        try:
-            result = server_interp.call_function(fn, args)
-        except LinkDownError:
-            # A CoD fault or remote I/O burst hit a dead link while the
-            # server was computing.  The partial server work is real wall
-            # time the mobile device waited through; charge it, then
-            # abort and replay.
-            self._current_server_interp = None
-            self._rio_pending = rio0
-            partial = server_interp.time_seconds
-            record.server_seconds = partial
-            self.server_instructions += server_interp.instruction_count
-            self.server_compute_seconds += partial
-            if not zero:
-                self._advance(partial, "wait")
-            return self._abort_offload(
-                target, interp, args, record, "exec",
-                self.comm.stats.comm_seconds - comm_phase0,
-                "receive", io_snapshot)
-        self._current_server_interp = None
-        cod_seconds = 0.0 if zero else self.uva.stats.cod_seconds - cod0
-        rio_seconds = self._rio_pending
-        self._rio_pending = rio0
-        server_seconds = server_interp.time_seconds
-        self.server_instructions += server_interp.instruction_count
-        self.server_compute_seconds += server_seconds
-        record.server_seconds = server_seconds
-        record.cod_seconds = cod_seconds
-        record.remote_io_seconds = rio_seconds
-        if tr.enabled:
-            tr.emit("offload.exec", target.name, dur=server_seconds,
-                    instructions=server_interp.instruction_count,
-                    cod_faults=self.uva.stats.cod_faults - faults0,
-                    cod_seconds=cod_seconds,
-                    remote_io_seconds=rio_seconds)
-            tr.metrics.histogram("offload.server_seconds").observe(
-                server_seconds)
-            fnptr_lookups = self._fnptr_lookups - fnptr_lookups0
-            if fnptr_lookups:
-                tr.emit("fnptr.window", target.name,
-                        lookups=fnptr_lookups,
-                        seconds=self.fnptr_seconds - fnptr_seconds0)
-                tr.metrics.counter("fnptr.lookups").inc(fnptr_lookups)
-        # the mobile waits while the server computes; it receives during
-        # CoD transfers and services remote I/O bursts
-        self._advance(server_seconds, "wait")
-        self._advance(cod_seconds, "receive")
-        self._advance(rio_seconds, "remote_io")
-
-        # ---- finalization ----------------------------------------------
-        # One batched, compressed message carries the termination signal,
-        # the return value, the dirty pages and the allocator state.
-        # Transactional: the dirty pages and allocator state are staged
-        # (defer_commit) and applied only after the whole message survives
-        # the transport — a mid-finalize link death leaves mobile memory
-        # untouched (abort-and-replay invariant, DESIGN.md §5).
-        comm_phase0 = self.comm.stats.comm_seconds
-        self.comm.begin_batch(to_server=False)
-        try:
-            fin_seconds, _ = self.uva.write_back(defer_commit=True)
-            fin_seconds += self.uva.pull_allocator_state(defer_commit=True)
-            fin_seconds += self.comm.send_to_mobile([b"\x00" * 64]).seconds
-            fin_seconds += self.comm.flush_batch().seconds
-        except LinkDownError:
-            return self._abort_offload(
-                target, interp, args, record, "finalize",
-                self.comm.stats.comm_seconds - comm_phase0,
-                "receive", io_snapshot)
-        self.uva.commit_finalize()
-        self.uva.end_invocation()
-        if zero:
-            fin_seconds = 0.0
-        record.finalize_seconds = fin_seconds
-        if tr.enabled:
-            tr.emit("offload.finalize", target.name, dur=fin_seconds,
-                    writeback_pages=(self.uva.stats.written_back_pages
-                                     - writeback_pages0),
-                    writeback_bytes=(self.uva.stats.written_back_bytes
-                                     - writeback_bytes0),
-                    bytes_to_server=(self.comm.stats.bytes_to_server
-                                     - bytes_s0),
-                    bytes_to_mobile=(self.comm.stats.bytes_to_mobile
-                                     - bytes_m0))
-            tr.metrics.histogram("offload.finalize_seconds").observe(
-                fin_seconds)
-        self._advance(fin_seconds, "receive")
-
-        record.bytes_to_server = (self.comm.stats.bytes_to_server - bytes_s0)
-        record.bytes_to_mobile = (self.comm.stats.bytes_to_mobile - bytes_m0)
-        record.cod_faults = self.uva.stats.cod_faults - faults0
-        if self.predictor is not None:
-            if init_seconds > 0:
-                self.predictor.observe_transfer(record.bytes_to_server,
-                                                init_seconds)
-            if fin_seconds > 0:
-                self.predictor.observe_transfer(record.bytes_to_mobile,
-                                                fin_seconds)
-        self.invocations.append(record)
-        self.estimator.record_offload_traffic(
-            target.name, record.traffic_bytes)
-        return result
-
-    # -- mid-invocation failure: abort and replay locally ----------------
-    def _abort_offload(self, target: OffloadTarget, interp: Interpreter,
-                       args: List, record: InvocationRecord, phase: str,
-                       wasted_seconds: float, power_state: str,
-                       io_snapshot: Optional[dict]):
-        """The transport declared the link dead mid-invocation: discard
-        every server-side effect, roll the mobile environment back to its
-        pre-invocation state, charge the wasted wall time and replay the
-        target locally (docs/fault-model.md, "Fallback semantics")."""
-        record.offloaded = False
-        record.aborted = True
-        record.abort_phase = phase
-        record.wasted_seconds = wasted_seconds
-        self._current_server_interp = None
-        self.comm.discard_batch()
-        self.uva.abort_invocation()
-        if io_snapshot is not None:
-            self.mobile.io.restore(io_snapshot)
-        if not self.options.zero_overhead:
-            # "transmit" has no flat power figure: its draw scales with
-            # link utilization, exactly as on the successful init path.
-            power_mw = (self.meter.transmit_power(0.9, self.network.slow)
-                        if power_state == "transmit" else None)
-            self._advance(wasted_seconds, power_state, power_mw)
-        self.estimator.record_offload_failure(target.name)
-        tr = self.tracer
-        if tr.enabled:
-            tr.emit("offload.abort", target.name, phase=phase,
-                    wasted_seconds=wasted_seconds)
-            tr.metrics.counter("offload.aborts").inc()
-            tr.metrics.counter("offload.wasted_seconds").inc(
-                wasted_seconds)
-        self.invocations.append(record)
-        return self._replay_locally(target, interp, args, record)
-
-    def _replay_locally(self, target: OffloadTarget, interp: Interpreter,
-                        args: List, record: InvocationRecord):
-        """Execute the aborted target on the mobile device.
-
-        The replay runs on a sub-interpreter sharing the suspended
-        interpreter's stack pointer — a fresh interpreter would start at
-        stack_top and clobber the live frames of the suspended caller.
-        Its cycles are charged (unscaled) to the main interpreter so the
-        replay is ordinary mobile compute time on the timeline and in the
-        energy model, and its observer feeds the dynamic estimator an
-        observed local execution time for the target."""
-        fn = self.mobile.module.function(target.name)
-        sub = Interpreter(self.mobile, observer=interp.observer,
-                          max_instructions=self.options.max_instructions)
-        sub.sp = interp.sp
-        result = sub.call_function(fn, args)
-        interp.charge_raw_cycles(sub.cycles)
-        self._replay_instructions += sub.instruction_count
-        record.fallback_local = True
-        record.local_seconds = sub.time_seconds
-        tr = self.tracer
-        if tr.enabled:
-            tr.emit("offload.fallback", target.name,
-                    seconds=sub.time_seconds,
-                    instructions=sub.instruction_count)
-            tr.metrics.counter("offload.fallbacks").inc()
-        return result

@@ -62,6 +62,8 @@ CATEGORIES = (
     "transport.reconnect",   # a reconnect probe succeeded
     "offload.abort",      # an invocation lost the link mid-flight
     "offload.fallback",   # an aborted invocation replayed locally
+    "offload.queue",      # time spent waiting for a pooled server slot
+    "offload.reject",     # the server pool refused admission
 )
 
 # Categories every offloading run emits (workload-independent).  The
@@ -85,17 +87,26 @@ class TraceEvent:
     name: str
     dur: float = 0.0         # modeled duration in seconds (0 = instant)
     payload: Dict[str, object] = field(default_factory=dict)
+    sid: Optional[str] = None  # session id, set only in fleet runs
 
     def to_dict(self) -> Dict[str, object]:
-        return {"t": self.t, "seq": self.seq, "cat": self.category,
-                "name": self.name, "dur": self.dur, "args": self.payload}
+        data: Dict[str, object] = {
+            "t": self.t, "seq": self.seq, "cat": self.category,
+            "name": self.name, "dur": self.dur, "args": self.payload}
+        # Serialized only when set so single-session traces keep their
+        # exact pre-fleet wire format.
+        if self.sid is not None:
+            data["sid"] = self.sid
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        sid = data.get("sid")
         return cls(t=float(data["t"]), seq=int(data["seq"]),
                    category=str(data["cat"]), name=str(data["name"]),
                    dur=float(data.get("dur", 0.0)),
-                   payload=dict(data.get("args", {})))
+                   payload=dict(data.get("args", {})),
+                   sid=None if sid is None else str(sid))
 
 
 class Tracer:
@@ -105,10 +116,12 @@ class Tracer:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  clock: Optional[Callable[[], float]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 sid: Optional[str] = None):
         if capacity <= 0:
             raise ValueError("tracer capacity must be positive")
         self.capacity = capacity
+        self.sid = sid
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._events: deque = deque(maxlen=capacity)
@@ -133,7 +146,8 @@ class Tracer:
         if len(self._events) == self.capacity:
             self.dropped += 1
         event = TraceEvent(t=t, seq=self._seq, category=category,
-                           name=name, dur=dur, payload=payload)
+                           name=name, dur=dur, payload=payload,
+                           sid=self.sid)
         self._seq += 1
         self._events.append(event)
         return event

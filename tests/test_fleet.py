@@ -1,0 +1,433 @@
+"""Fleet-scale runtime tests: the ExecutionBackend seam, the server
+pool, the lockstep scheduler, the estimator's contention term, and the
+seed fan-out (docs/fleet.md)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.offload.partition import OffloadTarget
+from repro.profiler import profile_module
+from repro.profiler.profile_data import CandidateProfile, ProfileData
+from repro.runtime import (Admission, DynamicPerformanceEstimator,
+                           FAST_WIFI, FaultPlan, OffloadSession,
+                           Rejection, SessionOptions, run_local)
+from repro.runtime.backend import DirectDispatcher
+from repro.fleet import (DeviceSpec, FleetScheduler, PoolOptions,
+                         SeedFanout, ServerPool, arrival_offsets,
+                         derive_seed)
+from repro.trace import write_jsonl
+from repro.trace.tracer import CATEGORIES, TraceEvent
+
+# A hot kernel invoked several times, so the pool sees repeat traffic.
+MULTI_SRC = r"""
+int *data;
+int n;
+
+int crunch(void) {
+    int i, r, acc = 0;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            acc += (data[i] * 31 + r) ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i, k;
+    scanf("%d", &n);
+    data = (int*) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    for (k = 0; k < 3; k++) printf("crunched %d\n", crunch());
+    return 0;
+}
+"""
+STDIN = b"600\n"
+
+
+@pytest.fixture(scope="module")
+def fleet_program():
+    module = compile_c(MULTI_SRC, "fleet")
+    profile = profile_module(module, stdin=STDIN)
+    program = NativeOffloaderCompiler(
+        CompilerOptions(forced_targets=["crunch"])).compile(
+            module, profile)
+    local = run_local(module, stdin=STDIN)
+    return module, program, local
+
+
+def _run_fleet(program, devices=1, offsets=None, pool_options=None,
+               tracing=True, fault_plans=None):
+    specs = []
+    for i in range(devices):
+        plan = fault_plans[i] if fault_plans else None
+        specs.append(DeviceSpec(
+            device_id=f"dev{i:02d}", program=program, network=FAST_WIFI,
+            stdin=STDIN,
+            start_offset_s=offsets[i] if offsets else 0.0,
+            options=SessionOptions(enable_tracing=tracing,
+                                   fault_plan=plan)))
+    pool = ServerPool(pool_options or PoolOptions())
+    return FleetScheduler(specs, pool).run()
+
+
+class TestBackendSeamDifferential:
+    """A 1-device/1-server fleet must be bit-identical to the plain
+    single-session path (ISSUE 4 acceptance criterion)."""
+
+    def test_fleet_of_one_is_bit_identical(self, fleet_program):
+        _, program, local = fleet_program
+        session = OffloadSession(program, FAST_WIFI,
+                                 options=SessionOptions(
+                                     enable_tracing=True),
+                                 stdin=STDIN)
+        solo = session.run()
+        fleet = _run_fleet(program, devices=1)
+        dev = fleet.devices[0].result
+
+        assert dev.stdout == solo.stdout == local.stdout
+        assert dev.exit_code == solo.exit_code
+        assert dev.total_seconds == solo.total_seconds
+        assert dev.energy_mj == solo.energy_mj
+        assert dev.bytes_to_server == solo.bytes_to_server
+        assert dev.bytes_to_mobile == solo.bytes_to_mobile
+        assert dev.cod_faults == solo.cod_faults
+        assert dev.offloaded_invocations == solo.offloaded_invocations
+        assert dev.breakdown() == solo.breakdown()
+
+    def test_trace_stream_identical_modulo_sid(self, fleet_program):
+        _, program, _ = fleet_program
+        session = OffloadSession(program, FAST_WIFI,
+                                 options=SessionOptions(
+                                     enable_tracing=True),
+                                 stdin=STDIN)
+        solo = session.run()
+        fleet = _run_fleet(program, devices=1)
+        solo_events = solo.trace.events()
+        fleet_events = fleet.devices[0].result.trace.events()
+        assert len(solo_events) == len(fleet_events)
+        for a, b in zip(solo_events, fleet_events):
+            assert (a.t, a.seq, a.category, a.name, a.dur, a.payload) == \
+                   (b.t, b.seq, b.category, b.name, b.dur, b.payload)
+        assert all(e.sid is None for e in solo_events)
+        assert all(e.sid == "dev00" for e in fleet_events)
+
+    def test_direct_dispatcher_is_also_identical(self, fleet_program):
+        """The explicit dedicated-server dispatcher adds no arithmetic
+        either — admission with zero wait changes nothing."""
+        _, program, _ = fleet_program
+        plain = OffloadSession(program, FAST_WIFI, stdin=STDIN).run()
+        direct = OffloadSession(
+            program, FAST_WIFI,
+            options=SessionOptions(dispatcher=DirectDispatcher()),
+            stdin=STDIN).run()
+        assert direct.stdout == plain.stdout
+        assert direct.total_seconds == plain.total_seconds
+        assert direct.energy_mj == plain.energy_mj
+        assert direct.breakdown() == plain.breakdown()
+
+
+class TestServerPool:
+    def test_idle_pool_admits_immediately(self):
+        pool = ServerPool(PoolOptions(servers=2, capacity=1))
+        adm = pool.admit("t", 0.0)
+        assert isinstance(adm, Admission)
+        assert adm.queue_seconds == 0.0
+        assert adm.server_id == 0
+
+    def test_queueing_wait_reflects_actual_release(self):
+        pool = ServerPool(PoolOptions(servers=1, capacity=1))
+        first = pool.admit("t", 0.0)
+        pool.release(first, 10.0)
+        second = pool.admit("t", 2.0)
+        assert second.queue_seconds == pytest.approx(8.0)
+        assert second.start_s == pytest.approx(10.0)
+        pool.release(second, 15.0)
+        assert pool.stats[0].busy_seconds == pytest.approx(15.0)
+        assert pool.total_queue_delay_s == pytest.approx(8.0)
+
+    def test_least_loaded_server_wins(self):
+        pool = ServerPool(PoolOptions(servers=2, capacity=1))
+        a = pool.admit("t", 0.0)
+        pool.release(a, 10.0)
+        b = pool.admit("t", 1.0)   # server 0 busy until 10 -> server 1
+        assert b.server_id == 1
+        assert b.queue_seconds == 0.0
+        pool.release(b, 5.0)
+
+    def test_bounded_queue_rejects(self):
+        pool = ServerPool(PoolOptions(servers=1, capacity=1,
+                                      queue_limit=1))
+        a = pool.admit("t", 0.0)
+        pool.release(a, 100.0)
+        b = pool.admit("t", 1.0)   # waits, queue depth 1 (the limit)
+        pool.release(b, 110.0)
+        c = pool.admit("t", 2.0)   # b still waiting at t=2 -> refused
+        assert isinstance(c, Rejection)
+        assert c.estimated_wait_s == pytest.approx(108.0)
+        assert pool.total_rejected == 1
+        assert pool.stats[0].rejected == 1
+
+    def test_priority_reserve_admits_priority_only(self):
+        pool = ServerPool(PoolOptions(servers=1, capacity=1,
+                                      queue_limit=2,
+                                      priority_reserve=1))
+        a = pool.admit("t", 0.0)
+        pool.release(a, 100.0)
+        b = pool.admit("t", 1.0)          # ordinary: uses the 1 free slot
+        pool.release(b, 110.0)
+        c = pool.admit("t", 2.0)          # ordinary: only reserve left
+        assert isinstance(c, Rejection)
+        d = pool.admit("t", 3.0, priority=True)   # reserve admits it
+        assert isinstance(d, Admission)
+        pool.release(d, 120.0)
+
+    def test_capacity_slots_run_concurrently(self):
+        pool = ServerPool(PoolOptions(servers=1, capacity=2))
+        a = pool.admit("t", 0.0)
+        pool.release(a, 50.0)
+        b = pool.admit("t", 1.0)   # second slot is free
+        assert b.queue_seconds == 0.0
+        pool.release(b, 60.0)
+        assert pool.utilization(100.0)[0] == pytest.approx(
+            (50.0 + 59.0) / 200.0)
+
+    def test_admit_requires_released_history(self):
+        pool = ServerPool(PoolOptions())
+        pool.admit("t", 0.0)
+        with pytest.raises(RuntimeError):
+            pool.admit("t", 1.0)   # previous admission never released
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            PoolOptions(servers=0)
+        with pytest.raises(ValueError):
+            PoolOptions(capacity=0)
+        with pytest.raises(ValueError):
+            PoolOptions(queue_limit=-1)
+        with pytest.raises(ValueError):
+            PoolOptions(queue_limit=1, priority_reserve=2)
+
+
+class TestContention:
+    def test_burst_fleet_queues_and_degrades(self, fleet_program):
+        _, program, local = fleet_program
+        result = _run_fleet(
+            program, devices=6,
+            pool_options=PoolOptions(servers=1, capacity=1,
+                                     queue_limit=2))
+        summary = result.summary()
+        # Everyone still computes the right answer...
+        assert all(d.result.stdout == local.stdout
+                   for d in result.devices)
+        # ...but the pool visibly pushed back.
+        assert summary["queue"]["total_delay_s"] > 0.0
+        assert summary["invocations"]["rejected"] > 0
+        assert summary["invocations"]["local_fallbacks"] > 0
+        assert 0.0 < summary["servers_detail"][0]["utilization"] <= 1.0
+
+    def test_decline_rate_rises_with_fleet_size(self, fleet_program):
+        _, program, _ = fleet_program
+        small = _run_fleet(program, devices=2,
+                           pool_options=PoolOptions(servers=1,
+                                                    capacity=1,
+                                                    queue_limit=2),
+                           tracing=False)
+        big = _run_fleet(program, devices=8,
+                         pool_options=PoolOptions(servers=1, capacity=1,
+                                                  queue_limit=2),
+                         tracing=False)
+        assert (big.summary()["decline_rate"]
+                > small.summary()["decline_rate"])
+
+    def test_queue_seconds_charged_to_device_timeline(self, fleet_program):
+        """Queueing delay lands on the device clock and battery exactly
+        like link time: a queued device finishes later and spends more
+        energy than the same device alone."""
+        _, program, _ = fleet_program
+        alone = _run_fleet(program, devices=1, tracing=False)
+        contended = _run_fleet(
+            program, devices=4,
+            pool_options=PoolOptions(servers=1, capacity=1),
+            tracing=False)
+        queued = [d for d in contended.devices
+                  if d.result.queue_seconds > 0.0]
+        assert queued, "burst arrivals must queue somewhere"
+        baseline = alone.devices[0].result
+        for device in queued:
+            r = device.result
+            assert r.total_seconds > baseline.total_seconds
+            assert r.energy_mj > baseline.energy_mj
+            # and the gap is at least the queueing delay itself
+            assert (r.total_seconds - baseline.total_seconds
+                    >= r.queue_seconds * 0.99)
+
+
+class TestDeterminism:
+    def _summary_and_trace(self, program, tmp_path, tag):
+        fan = SeedFanout(7)
+        offsets = arrival_offsets("poisson", 4, 0.001,
+                                  fan.rng("arrivals"))
+        plans = [FaultPlan(seed=fan.seed("fault", i), drop_rate=0.05)
+                 for i in range(4)]
+        result = _run_fleet(
+            program, devices=4, offsets=offsets,
+            pool_options=PoolOptions(servers=2, capacity=1,
+                                     queue_limit=2),
+            fault_plans=plans)
+        payload = json.dumps(result.summary(), sort_keys=False)
+        trace_path = tmp_path / f"fleet-{tag}.jsonl"
+        write_jsonl(result.merged_events(), trace_path)
+        return payload, trace_path.read_bytes()
+
+    def test_same_seed_runs_are_byte_identical(self, fleet_program,
+                                               tmp_path):
+        _, program, _ = fleet_program
+        payload1, trace1 = self._summary_and_trace(program, tmp_path, "a")
+        payload2, trace2 = self._summary_and_trace(program, tmp_path, "b")
+        assert payload1 == payload2
+        assert trace1 == trace2
+
+
+class TestMergedTrace:
+    def test_merged_events_are_globally_ordered_and_tagged(
+            self, fleet_program):
+        _, program, _ = fleet_program
+        result = _run_fleet(
+            program, devices=3, offsets=[0.0, 0.005, 0.010],
+            pool_options=PoolOptions(servers=1, capacity=1))
+        events = result.merged_events()
+        assert events
+        assert {e.sid for e in events} == {"dev00", "dev01", "dev02"}
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        # offset shift: a later device's session.start lands later
+        starts = {e.sid: e.t for e in events
+                  if e.category == "session.start"}
+        assert starts["dev00"] < starts["dev01"] < starts["dev02"]
+        assert all(e.category in CATEGORIES for e in events)
+
+    def test_queue_and_reject_events_emitted(self, fleet_program):
+        _, program, _ = fleet_program
+        result = _run_fleet(
+            program, devices=6,
+            pool_options=PoolOptions(servers=1, capacity=1,
+                                     queue_limit=1))
+        cats = {e.category for e in result.merged_events()}
+        assert "offload.queue" in cats
+        assert "offload.reject" in cats
+
+    def test_sid_serialization_round_trip(self):
+        tagged = TraceEvent(t=1.0, seq=0, category="decision", name="t",
+                            sid="dev03")
+        data = tagged.to_dict()
+        assert data["sid"] == "dev03"
+        assert TraceEvent.from_dict(data).sid == "dev03"
+        plain = TraceEvent(t=1.0, seq=0, category="decision", name="t")
+        data = plain.to_dict()
+        assert "sid" not in data   # single-session wire format unchanged
+        assert TraceEvent.from_dict(data).sid is None
+
+
+def _profile_with(name, seconds, invocations, mem_bytes):
+    prof = CandidateProfile(name, "function", name)
+    prof.total_seconds = seconds
+    prof.invocations = invocations
+    prof.pages_touched = set(range(max(1, mem_bytes // 4096)))
+    return ProfileData(module_name="m", arch_name="arm32",
+                       program_seconds=seconds,
+                       candidates={name: prof})
+
+
+class TestQueueingAwareEstimator:
+    def _estimator(self):
+        data = _profile_with("t", 1.0, 1, 64 * 1024)
+        return DynamicPerformanceEstimator(data, 4.0, FAST_WIFI)
+
+    def test_no_observations_means_zero_queue_term(self):
+        est = self._estimator()
+        result = est.estimate(OffloadTarget(1, "t", "function"))
+        assert result.t_queue == 0.0
+        assert result.gain == pytest.approx(result.t_ideal
+                                            - result.t_comm)
+
+    def test_queue_delay_ewma_feeds_gain(self):
+        est = self._estimator()
+        target = OffloadTarget(1, "t", "function")
+        base = est.estimate(target)
+        est.record_queue_delay(0, 2.0)
+        contended = est.estimate(target)
+        assert contended.t_queue == pytest.approx(2.0)
+        assert contended.gain == pytest.approx(base.gain - 2.0)
+        est.record_queue_delay(0, 0.0)   # pool drained
+        assert est.expected_queue_seconds() == pytest.approx(1.0)
+
+    def test_best_server_sets_the_expectation(self):
+        est = self._estimator()
+        est.record_queue_delay(0, 5.0)
+        est.record_queue_delay(1, 0.5)
+        # the dispatcher would route to server 1
+        assert est.expected_queue_seconds() == pytest.approx(0.5)
+
+    def test_rejections_floor_the_expectation(self):
+        est = self._estimator()
+        est.record_queue_delay(0, 0.0)       # completed admissions fine
+        est.record_pool_rejection(4.0)       # but the pool says no
+        assert est.pool_rejections == 1
+        assert est.expected_queue_seconds() == pytest.approx(4.0)
+
+    def test_queue_pressure_reason(self):
+        est = self._estimator()
+        target = OffloadTarget(1, "t", "function")
+        assert est.should_offload(target)
+        assert est.last_reason == "positive_gain"
+        est.record_queue_delay(0, 100.0)     # saturate the pool
+        assert not est.should_offload(target)
+        assert est.last_reason == "queue_pressure"
+        assert est.last_estimate.t_queue == pytest.approx(100.0)
+
+    def test_saturated_fleet_declines_offload(self, fleet_program):
+        """End to end: devices arriving into a saturated pool start
+        declining (the generalized Equation 1 at work)."""
+        _, program, _ = fleet_program
+        result = _run_fleet(
+            program, devices=8,
+            pool_options=PoolOptions(servers=1, capacity=1),
+            tracing=False)
+        declined = sum(d.result.declined_invocations
+                       for d in result.devices)
+        assert declined > 0
+
+
+class TestSeedFanout:
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(0, "fault", 1) == derive_seed(0, "fault", 1)
+        assert derive_seed(0, "fault", 1) != derive_seed(0, "fault", 2)
+        assert derive_seed(0, "fault", 1) != derive_seed(1, "fault", 1)
+        assert derive_seed(0, "a", "bc") != derive_seed(0, "ab", "c")
+
+    def test_rng_streams_are_independent(self):
+        fan = SeedFanout(3)
+        a = [fan.rng("x").random() for _ in range(3)]
+        b = [fan.rng("x").random() for _ in range(3)]
+        assert a == b                      # same label -> same stream
+        assert fan.rng("y").random() != a[0]
+
+    def test_arrival_patterns(self):
+        fan = SeedFanout(0)
+        assert arrival_offsets("uniform", 3, 0.5, fan.rng("a")) == \
+            [0.0, 0.5, 1.0]
+        assert arrival_offsets("burst", 3, 0.5, fan.rng("a")) == \
+            [0.0, 0.0, 0.0]
+        poisson = arrival_offsets("poisson", 4, 0.5, fan.rng("a"))
+        assert poisson[0] == 0.0
+        assert poisson == sorted(poisson)
+        assert poisson == arrival_offsets("poisson", 4, 0.5,
+                                          fan.rng("a"))
+        with pytest.raises(ValueError):
+            arrival_offsets("weird", 1, 0.5, fan.rng("a"))
