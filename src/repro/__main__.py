@@ -7,6 +7,8 @@
     python -m repro trace chess               # traced run: event timeline
     python -m repro trace chess --jsonl t.jsonl --chrome t.json
     python -m repro fleet --devices 20 --servers 2 --seed 0
+    python -m repro report --seed 0 --json r.json --html r.html
+    python -m repro report --baseline old.json --current new.json
     python -m repro table 3                   # regenerate a paper table
     python -m repro figure 6a                 # regenerate a paper figure
 """
@@ -30,8 +32,13 @@ from .offload import CompilerOptions, NativeOffloaderCompiler
 from .profiler import profile_module
 from .runtime import (FaultPlan, NETWORKS, OffloadSession, SessionOptions,
                       run_local)
-from .trace import (phase_totals, render_metrics, render_timeline,
-                    write_chrome_trace, write_jsonl)
+from .trace import (load_jsonl, phase_totals, read_jsonl_meta,
+                    render_metrics, render_timeline, write_chrome_trace,
+                    write_jsonl)
+from .trace.analysis import (BUCKETS, aggregate_sessions, build_report,
+                             diff_bench, diff_reports, invocation_counts,
+                             reconstruct_sessions, render_html,
+                             report_to_json)
 from .workloads import ALL_WORKLOADS, workload
 
 
@@ -145,8 +152,9 @@ def cmd_run(args) -> int:
     print(f"  speedup : {local.seconds / result.total_seconds:.2f}x   "
           f"battery saving "
           f"{(1 - result.energy_mj / local.energy_mj) * 100:.1f}%")
-    print(f"  offloaded {result.offloaded_invocations}/"
-          f"{len(result.invocations)} invocations, "
+    counts = invocation_counts(result.invocations)
+    print(f"  offloaded {counts['offloaded']}/{counts['total']} "
+          f"invocations, "
           f"traffic {result.traffic_per_invocation_mb:.3f} MB/invocation, "
           f"output {match}")
     _print_uva_summary(result)
@@ -189,20 +197,44 @@ def cmd_trace(args) -> int:
         print(f"  {key:<20s} {derived[key]:.9f} s   "
               f"{reported[key]:.9f} s")
     print()
+    print("analysis (span-derived — same aggregation as `repro report`)")
+    _print_analysis_summary(events)
+    print()
     print("uva data plane")
     _print_uva_summary(result)
     print()
     print("transport / fallback")
     _print_fault_summary(result)
     if args.jsonl:
-        count = write_jsonl(events, args.jsonl)
+        count = write_jsonl(events, args.jsonl, dropped=tracer.dropped)
         print(f"wrote {count} events to {args.jsonl}")
     if args.chrome:
         write_chrome_trace(events, args.chrome,
-                           process_name=f"{spec.name} over {network.name}")
+                           process_name=f"{spec.name} over {network.name}",
+                           dropped=tracer.dropped)
         print(f"wrote Chrome trace to {args.chrome} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
+
+
+def _print_analysis_summary(events) -> None:
+    """The span-derived lines of the trace summary, sourced from the
+    exact aggregation code behind ``repro report`` (satellite of
+    docs/observability.md: the CLI and the report cannot disagree)."""
+    agg = aggregate_sessions(reconstruct_sessions(events))
+    inv = agg.invocations
+    print(f"  spans   : {inv['total']} invocations — "
+          f"{inv['offloaded']} offloaded, {inv['declined']} declined, "
+          f"{inv['rejected']} rejected, {inv['aborted']} aborted")
+    cp = agg.critical_path
+    parts = ", ".join(f"{name} {cp[name] * 1e3:.2f} ms"
+                      for name in BUCKETS if cp[name] > 0)
+    print(f"  critical: {parts or 'all buckets empty'}")
+    if agg.dominant:
+        dominant = ", ".join(f"{name} x{count}"
+                             for name, count in
+                             sorted(agg.dominant.items()))
+        print(f"  dominant: {dominant}")
 
 
 # The default fleet workload: a hot kernel invoked a few times per
@@ -249,15 +281,12 @@ def _fleet_program(name: str):
     return module, spec.eval_stdin, spec.eval_files, program
 
 
-def cmd_fleet(args) -> int:
-    """Simulate N devices offloading against a contended server pool
-    (docs/fleet.md)."""
-    network = _resolve_network(args.network)
-    if network is None:
-        return 2
+def _run_fleet(args, network, enable_tracing: bool):
+    """Build and run the fleet the CLI flags describe — shared by
+    ``fleet`` and ``report`` so the two subcommands simulate the exact
+    same system.  Returns ``(FleetResult, base_plan, module, stdin,
+    files)``."""
     module, stdin, files, program = _fleet_program(args.workload)
-    local = run_local(module, stdin=stdin, files=files)
-
     # Every random draw in the run — arrival process, per-device fault
     # plans — fans out from the one --seed (docs/fleet.md, "Determinism").
     fan = SeedFanout(args.seed)
@@ -269,7 +298,7 @@ def cmd_fleet(args) -> int:
         device_id = f"dev{i:02d}"
         plan = (dataclasses.replace(base_plan, seed=fan.seed("fault", i))
                 if base_plan is not None else None)
-        options = SessionOptions(enable_tracing=bool(args.jsonl),
+        options = SessionOptions(enable_tracing=enable_tracing,
                                  fault_plan=plan)
         devices.append(DeviceSpec(device_id=device_id, program=program,
                                   network=network, stdin=stdin,
@@ -279,6 +308,18 @@ def cmd_fleet(args) -> int:
                                   capacity=args.capacity,
                                   queue_limit=args.queue_limit))
     result = FleetScheduler(devices, pool).run()
+    return result, base_plan, module, stdin, files
+
+
+def cmd_fleet(args) -> int:
+    """Simulate N devices offloading against a contended server pool
+    (docs/fleet.md)."""
+    network = _resolve_network(args.network)
+    if network is None:
+        return 2
+    result, base_plan, module, stdin, files = _run_fleet(
+        args, network, enable_tracing=bool(args.jsonl))
+    local = run_local(module, stdin=stdin, files=files)
 
     summary = result.summary()
     outputs_ok = all(d.result.stdout == local.stdout
@@ -319,9 +360,106 @@ def cmd_fleet(args) -> int:
             fh.write("\n")
         print(f"wrote summary to {args.json}")
     if args.jsonl:
-        count = write_jsonl(result.merged_events(), args.jsonl)
+        count = write_jsonl(result.merged_events(), args.jsonl,
+                            dropped=result.dropped_events)
         print(f"wrote {count} merged fleet events to {args.jsonl}")
     return 0 if outputs_ok else 1
+
+
+def _fleet_source(args, faulty: bool) -> dict:
+    """The report's ``source`` block for a live fleet run: every knob
+    that shaped the simulation, nothing that varies between identical
+    runs (no clocks, no paths)."""
+    return {
+        "kind": "fleet", "workload": args.workload,
+        "network": args.network, "devices": args.devices,
+        "servers": args.servers, "capacity": args.capacity,
+        "queue_limit": args.queue_limit, "arrival": args.arrival,
+        "spacing_s": args.spacing, "seed": args.seed, "faulty": faulty,
+    }
+
+
+def _gate(regressions, tolerance: float) -> int:
+    """Print the baseline-gate verdict; non-zero exit on regression."""
+    if not regressions:
+        print(f"baseline gate: ok (tolerance {tolerance:g})")
+        return 0
+    print(f"baseline gate: {len(regressions)} regression(s) beyond "
+          f"tolerance {tolerance:g}", file=sys.stderr)
+    for r in regressions:
+        rel = (f", {r['relative'] * 100:+.1f}%"
+               if r.get("relative") is not None else "")
+        print(f"  REGRESSION {r['metric']}: {r['baseline']:g} -> "
+              f"{r['current']:g} (delta {r['delta']:+g}{rel})",
+              file=sys.stderr)
+    return 1
+
+
+def _load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def cmd_report(args) -> int:
+    """Analyze a trace — from a live seeded fleet run or a saved JSONL
+    file — into the deterministic report, or diff two saved reports
+    (docs/observability.md, "Report and baseline workflow")."""
+    bench_pairs = args.bench or []
+    # Pure diff mode: two saved reports, no simulation at all.
+    if args.current:
+        if not args.baseline:
+            print("--current requires --baseline", file=sys.stderr)
+            return 2
+        regressions = diff_reports(_load_json(args.baseline),
+                                   _load_json(args.current),
+                                   args.tolerance)
+        for old, new in bench_pairs:
+            regressions += diff_bench(_load_json(old), _load_json(new),
+                                      args.tolerance)
+        return _gate(regressions, args.tolerance)
+
+    if args.from_jsonl:
+        events = load_jsonl(args.from_jsonl)
+        meta = read_jsonl_meta(args.from_jsonl)
+        report = build_report(
+            events,
+            source={"kind": "jsonl", "path": args.from_jsonl},
+            dropped=meta.get("dropped", 0))
+    else:
+        network = _resolve_network(args.network)
+        if network is None:
+            return 2
+        result, base_plan, _, _, _ = _run_fleet(args, network,
+                                                enable_tracing=True)
+        report = build_report(
+            result.merged_events(),
+            source=_fleet_source(args, base_plan is not None),
+            dropped=result.dropped_events)
+
+    for warning in report["warnings"]:
+        print(f"warning: {warning}", file=sys.stderr)
+    text = report_to_json(report)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.json}")
+    else:
+        sys.stdout.write(text)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(report))
+        print(f"wrote HTML report to {args.html}")
+
+    regressions = []
+    if args.baseline:
+        regressions += diff_reports(_load_json(args.baseline), report,
+                                    args.tolerance)
+    for old, new in bench_pairs:
+        regressions += diff_bench(_load_json(old), _load_json(new),
+                                  args.tolerance)
+    if args.baseline or bench_pairs:
+        return _gate(regressions, args.tolerance)
+    return 0
 
 
 def cmd_table(args) -> int:
@@ -447,6 +585,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged fleet trace as JSON Lines")
     _add_fault_args(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("report", help="analyze a trace (live seeded "
+                                      "fleet run or saved JSONL) into a "
+                                      "deterministic JSON/HTML report, "
+                                      "with a baseline regression gate")
+    p.add_argument("--from-jsonl", metavar="PATH",
+                   help="analyze this saved JSONL trace instead of "
+                        "running a fleet")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the report JSON here (default: stdout)")
+    p.add_argument("--html", metavar="PATH",
+                   help="also write a self-contained HTML report")
+    p.add_argument("--baseline", metavar="REPORT.json",
+                   help="diff against this saved report; exit non-zero "
+                        "on regression beyond --tolerance")
+    p.add_argument("--current", metavar="REPORT.json",
+                   help="with --baseline: diff two saved reports "
+                        "without running anything")
+    p.add_argument("--bench", nargs=2, action="append",
+                   metavar=("OLD.json", "NEW.json"),
+                   help="also gate a BENCH_*.json pair (repeatable)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative regression tolerance (default 0.10)")
+    p.add_argument("--devices", type=int, default=20,
+                   help="fleet size for live runs (default 20)")
+    p.add_argument("--servers", type=int, default=2,
+                   help="servers for live runs (default 2)")
+    p.add_argument("--capacity", type=int, default=1,
+                   help="slots per server (default 1)")
+    p.add_argument("--queue-limit", type=int, default=4, metavar="N",
+                   help="per-server queue limit (default 4)")
+    p.add_argument("--arrival", default="uniform",
+                   choices=["uniform", "poisson", "burst"],
+                   help="device start pattern (default uniform)")
+    p.add_argument("--spacing", type=float, default=0.002,
+                   metavar="SECONDS",
+                   help="mean gap between device starts (default 2 ms)")
+    p.add_argument("--workload", default=FLEET_MICRO_WORKLOAD,
+                   help=f"workload for live runs (default "
+                        f"{FLEET_MICRO_WORKLOAD!r})")
+    p.add_argument("--network", default="802.11ac",
+                   help=f"one of {sorted(NETWORKS)}")
+    _add_fault_args(p)
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", help="1|2|3|4|5")

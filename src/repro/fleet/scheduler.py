@@ -26,13 +26,14 @@ merged trace covers the fleet (``FleetResult.merged_events``).
 
 from __future__ import annotations
 
-import math
 import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..runtime.backend import Admission, OffloadDispatcher, Rejection
 from ..runtime.session import OffloadSession, SessionOptions, SessionResult
+from ..trace.analysis.aggregate import (invocation_counts,
+                                        nearest_rank_percentile)
 from ..trace.tracer import TraceEvent
 from .clock import EventQueue, SimClock
 from .pool import ServerPool
@@ -176,13 +177,9 @@ class DeviceOutcome:
         return self.start_offset_s + self.result.total_seconds
 
 
-def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
-    return ordered[rank - 1]
+# The one nearest-rank percentile definition, shared with the report
+# (repro.trace.analysis) so the two can never disagree.
+_percentile = nearest_rank_percentile
 
 
 @dataclass
@@ -197,12 +194,16 @@ class FleetResult:
         """The JSON-safe fleet report (stable key order; two same-seed
         runs serialize byte-identically — tests/test_fleet.py)."""
         results = [d.result for d in self.devices]
-        total_inv = sum(len(r.invocations) for r in results)
-        offloaded = sum(r.offloaded_invocations for r in results)
-        declined = sum(r.declined_invocations for r in results)
-        rejected = sum(r.rejected_invocations for r in results)
-        aborted = sum(r.aborted_invocations for r in results)
-        fallbacks = sum(r.local_fallbacks for r in results)
+        # One counting definition, shared with `repro report`
+        # (repro.trace.analysis.aggregate).
+        counts = invocation_counts(r for result in results
+                                   for r in result.invocations)
+        total_inv = counts["total"]
+        offloaded = counts["offloaded"]
+        declined = counts["declined"]
+        rejected = counts["rejected"]
+        aborted = counts["aborted"]
+        fallbacks = counts["local_fallbacks"]
         queue_s = sum(r.queue_seconds for r in results)
         completions = [d.completion_s for d in self.devices]
         queued = sum(s.queued_admissions for s in self.pool.stats)
@@ -252,6 +253,14 @@ class FleetResult:
             ],
             "energy_mj_total": sum(r.energy_mj for r in results),
         }
+
+    @property
+    def dropped_events(self) -> int:
+        """Events lost to the devices' trace ring buffers, fleet-wide —
+        the truncation signal ``write_jsonl`` headers and ``repro
+        report`` surface."""
+        return sum(d.result.trace.dropped for d in self.devices
+                   if d.result.trace is not None)
 
     def merged_events(self) -> List[TraceEvent]:
         """One fleet-wide trace: every device's events shifted onto the

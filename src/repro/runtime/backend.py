@@ -481,8 +481,13 @@ class RemoteBackend(ExecutionBackend):
         self._release(admission)
         tr = session.tracer
         if tr.enabled:
+            # server_seconds: partial server execution a mid-exec abort
+            # already charged into server_compute_seconds — without it
+            # here the trace could not reconcile that total
+            # (repro.trace.analysis.spans.validate_sessions).
             tr.emit("offload.abort", target.name, phase=phase,
-                    wasted_seconds=wasted_seconds)
+                    wasted_seconds=wasted_seconds,
+                    server_seconds=record.server_seconds)
             tr.metrics.counter("offload.aborts").inc()
             tr.metrics.counter("offload.wasted_seconds").inc(
                 wasted_seconds)

@@ -215,6 +215,12 @@ class Transport:
                     self.tracer.metrics.counter(
                         "transport.reconnects").inc()
                 return spent
+        # failed probes are real recovery time on the device timeline
+        # (they ride the failed delivery's comm.send dur); without this
+        # event the critical-path analysis could not attribute them
+        if spent and self.tracer.enabled:
+            self.tracer.emit("transport.reconnect", direction,
+                             seconds=spent, failed=True)
         self._give_up(direction, elapsed_before + spent,
                       "link dead and reconnect failed")
 

@@ -17,6 +17,10 @@ systems ship:
   metrics summary behind ``python -m repro trace``, plus the
   trace-derived per-phase totals that cross-check
   :meth:`SessionResult.breakdown`.
+* :mod:`repro.trace.analysis` — the analysis engine behind
+  ``python -m repro report``: span reconstruction, critical-path
+  attribution, fleet aggregation, SLO findings and the
+  baseline-diffing regression gate.
 
 Tracing is **off by default** (``SessionOptions.enable_tracing``); the
 disabled path shares a singleton :data:`NULL_TRACER` whose ``enabled``
@@ -29,8 +33,8 @@ from .tracer import (CATEGORIES, CORE_CATEGORIES, NULL_TRACER, NullTracer,
                      TraceEvent, Tracer)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .export import (events_from_jsonl, events_to_chrome_json,
-                     events_to_jsonl, load_jsonl, write_chrome_trace,
-                     write_jsonl)
+                     events_to_jsonl, load_jsonl, read_jsonl_meta,
+                     write_chrome_trace, write_jsonl)
 from .timeline import (phase_totals, render_metrics, render_timeline,
                        traffic_totals)
 
@@ -39,6 +43,6 @@ __all__ = [
     "TraceEvent", "Tracer",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "events_from_jsonl", "events_to_chrome_json", "events_to_jsonl",
-    "load_jsonl", "write_chrome_trace", "write_jsonl",
+    "load_jsonl", "read_jsonl_meta", "write_chrome_trace", "write_jsonl",
     "phase_totals", "render_metrics", "render_timeline", "traffic_totals",
 ]

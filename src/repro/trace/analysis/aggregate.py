@@ -1,0 +1,248 @@
+"""Fleet aggregation: one statistical view over many sessions' spans.
+
+Everything here is derived from reconstructed spans (``spans.py``) —
+the same numbers whether they come from a live run's tracer or a saved
+JSONL file, which is what lets ``python -m repro report`` and the CLI
+summary lines share one source of truth.  Distributions use the
+log-bucketed :class:`~repro.trace.metrics.Histogram` so percentiles
+survive cross-device merging without retaining samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..metrics import Histogram
+from .critical_path import (BUCKETS, CriticalPath, attribute_session,
+                            bucket_totals, dominant_counts)
+from .spans import SessionSpan
+
+#: Histogram metrics the aggregate tracks, in serialization order.
+DISTRIBUTIONS = ("invocation_seconds", "queue_wait_seconds",
+                 "wire_bytes")
+
+
+def nearest_rank_percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile over raw samples (deterministic, no
+    interpolation).  The exact-sample companion of
+    :meth:`Histogram.percentile`; ``fleet.scheduler`` sources its
+    completion percentiles from here so the fleet summary and the
+    report can never disagree on the definition."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+def invocation_counts(records) -> Dict[str, int]:
+    """Outcome counts over :class:`InvocationRecord`-shaped objects
+    (``offloaded`` / ``rejected`` / ``aborted`` / ``fallback_local``
+    attributes).  The one counting definition behind
+    ``SessionResult``'s summary lines, ``FleetResult.summary()`` and the
+    report — the CLI and ``repro report`` cannot drift apart because
+    they both call this."""
+    counts = {"total": 0, "offloaded": 0, "declined": 0, "rejected": 0,
+              "aborted": 0, "local_fallbacks": 0}
+    for record in records:
+        counts["total"] += 1
+        if record.offloaded:
+            counts["offloaded"] += 1
+        elif record.rejected:
+            counts["rejected"] += 1
+        elif record.aborted:
+            counts["aborted"] += 1
+        else:
+            counts["declined"] += 1
+        if record.fallback_local:
+            counts["local_fallbacks"] += 1
+    return counts
+
+
+def _invocation_wire_bytes(inv) -> int:
+    total = 0
+    for event in inv.events():
+        p = event.payload
+        cat = event.category
+        if cat in ("comm.send", "comm.stream"):
+            total += p.get("wire_bytes", 0)
+        elif cat == "comm.rtt":
+            total += (p.get("wire_request_bytes", 0)
+                      + p.get("wire_response_bytes", 0))
+    return total
+
+
+@dataclass
+class DeviceRow:
+    """One device's line of the report's per-device table."""
+
+    sid: Optional[str]
+    program: str
+    invocations: int
+    offloaded: int
+    declined: int
+    rejected: int
+    aborted: int
+    total_seconds: float
+    energy_mj: float
+    partial: bool
+
+    def to_json(self) -> dict:
+        return {
+            "sid": self.sid, "program": self.program,
+            "invocations": self.invocations, "offloaded": self.offloaded,
+            "declined": self.declined, "rejected": self.rejected,
+            "aborted": self.aborted, "total_seconds": self.total_seconds,
+            "energy_mj": self.energy_mj, "partial": self.partial,
+        }
+
+
+@dataclass
+class FleetAggregate:
+    """The cross-session rollup every report section reads from."""
+
+    sessions: int = 0
+    partial_sessions: int = 0
+    invocations: Dict[str, int] = field(default_factory=dict)
+    decline_reasons: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    critical_path: Dict[str, float] = field(default_factory=dict)
+    dominant: Dict[str, int] = field(default_factory=dict)
+    devices: List[DeviceRow] = field(default_factory=list)
+    servers: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    totals: Dict[str, float] = field(default_factory=dict)
+    paths: List[CriticalPath] = field(default_factory=list)
+
+    @property
+    def decline_rate(self) -> float:
+        total = self.invocations.get("total", 0)
+        if not total:
+            return 0.0
+        return (total - self.invocations.get("offloaded", 0)) / total
+
+    @property
+    def fallback_ratio(self) -> float:
+        total = self.invocations.get("total", 0)
+        if not total:
+            return 0.0
+        return self.invocations.get("local_fallbacks", 0) / total
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict with a stable shape and key order."""
+        histograms = {}
+        for name in DISTRIBUTIONS:
+            h = self.histograms[name]
+            histograms[name] = {
+                "count": h.count, "sum": h.total,
+                "min": h.min if h.count else 0.0,
+                "max": h.max if h.count else 0.0,
+                "mean": h.mean,
+                "p50": h.percentile(0.50),
+                "p95": h.percentile(0.95),
+                "p99": h.percentile(0.99),
+            }
+        return {
+            "sessions": self.sessions,
+            "partial_sessions": self.partial_sessions,
+            "invocations": dict(sorted(self.invocations.items())),
+            "decline_rate": self.decline_rate,
+            "fallback_ratio": self.fallback_ratio,
+            "decline_reasons": dict(sorted(self.decline_reasons.items())),
+            "distributions": histograms,
+            "critical_path_seconds": {name: self.critical_path.get(name,
+                                                                   0.0)
+                                      for name in BUCKETS},
+            "dominant_bottlenecks": dict(sorted(self.dominant.items())),
+            "devices": [row.to_json() for row in self.devices],
+            "servers": {str(k): self.servers[k]
+                        for k in sorted(self.servers)},
+            "totals": dict(sorted(self.totals.items())),
+        }
+
+
+def aggregate_sessions(sessions: List[SessionSpan]) -> FleetAggregate:
+    """Roll every session's spans up into one :class:`FleetAggregate`."""
+    agg = FleetAggregate()
+    agg.invocations = {"total": 0, "offloaded": 0, "declined": 0,
+                       "rejected": 0, "aborted": 0, "local_fallbacks": 0}
+    agg.histograms = {name: Histogram(name) for name in DISTRIBUTIONS}
+    agg.critical_path = {name: 0.0 for name in BUCKETS}
+    totals = {"total_seconds": 0.0, "energy_mj": 0.0,
+              "comm_seconds": 0.0, "mobile_compute_seconds": 0.0,
+              "server_compute_seconds": 0.0, "wire_bytes": 0,
+              "retries": 0, "reconnects": 0, "disconnects": 0}
+
+    for session in sessions:
+        agg.sessions += 1
+        if session.partial:
+            agg.partial_sessions += 1
+        counts = {"offloaded": 0, "declined": 0, "rejected": 0,
+                  "aborted": 0}
+        paths = attribute_session(session)
+        agg.paths.extend(paths)
+        for name, value in bucket_totals(paths).items():
+            agg.critical_path[name] += value
+        for name, n in dominant_counts(paths).items():
+            agg.dominant[name] = agg.dominant.get(name, 0) + n
+
+        for inv in session.invocations:
+            agg.invocations["total"] += 1
+            counts[inv.status] = counts.get(inv.status, 0) + 1
+            if inv.status == "declined" and inv.reason:
+                agg.decline_reasons[inv.reason] = \
+                    agg.decline_reasons.get(inv.reason, 0) + 1
+            wire = _invocation_wire_bytes(inv)
+            totals["wire_bytes"] += wire
+            for event in inv.events():
+                cat = event.category
+                if cat == "offload.fallback":
+                    agg.invocations["local_fallbacks"] += 1
+                elif cat == "transport.retry":
+                    totals["retries"] += 1
+                elif cat == "transport.reconnect":
+                    # failed probe sweeps carry failed=True and are
+                    # recovery time, not a re-established link
+                    if not event.payload.get("failed"):
+                        totals["reconnects"] += 1
+                elif cat == "transport.disconnect":
+                    totals["disconnects"] += 1
+                elif cat == "offload.queue":
+                    server = event.payload.get("server")
+                    if server is not None:
+                        row = agg.servers.setdefault(
+                            int(server), {"queued_admissions": 0,
+                                          "queue_delay_s": 0.0})
+                        row["queued_admissions"] += 1
+                        row["queue_delay_s"] += event.dur
+            if inv.status == "offloaded":
+                agg.histograms["invocation_seconds"].observe(
+                    inv.wall_seconds)
+                agg.histograms["wire_bytes"].observe(float(wire))
+            if inv.queue_seconds > 0.0:
+                agg.histograms["queue_wait_seconds"].observe(
+                    inv.queue_seconds)
+        for key in ("offloaded", "declined", "rejected", "aborted"):
+            agg.invocations[key] += counts.get(key, 0)
+
+        t = session.totals
+        totals["total_seconds"] += float(t.get("total_seconds", 0.0))
+        totals["energy_mj"] += float(t.get("energy_mj", 0.0))
+        totals["comm_seconds"] += float(t.get("comm_seconds", 0.0))
+        totals["mobile_compute_seconds"] += float(
+            t.get("mobile_compute_seconds", 0.0))
+        totals["server_compute_seconds"] += float(
+            t.get("server_compute_seconds", 0.0))
+        agg.devices.append(DeviceRow(
+            sid=session.sid, program=session.program,
+            invocations=len(session.invocations),
+            offloaded=counts.get("offloaded", 0),
+            declined=counts.get("declined", 0),
+            rejected=counts.get("rejected", 0),
+            aborted=counts.get("aborted", 0),
+            total_seconds=float(t.get("total_seconds", 0.0)),
+            energy_mj=float(t.get("energy_mj", 0.0)),
+            partial=session.partial))
+    agg.totals = totals
+    return agg

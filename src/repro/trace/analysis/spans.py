@@ -1,0 +1,392 @@
+"""Span reconstruction: fold the flat event stream into nested spans.
+
+The tracer emits a *flat* stream of :class:`~repro.trace.TraceEvent`
+records; the paper's evaluation (Figures 6-8, Tables 3-5) and every
+question the report answers ("where did this invocation's wall clock
+go?") need the stream folded back into its natural nesting:
+
+    session (one per ``sid``)
+      └─ invocation (one per dynamic offload decision site execution)
+           └─ phase (decide / queue / init / exec / finalize /
+                     reject / abort / fallback)
+                └─ the raw events
+
+Reconstruction is a deterministic state machine over the per-``sid``
+stream in emission (``seq``) order, mirroring the runtime's control flow
+in ``repro/runtime/backend.py``:
+
+* an invocation opens at its first ``estimate`` or ``decision`` event;
+* a declined decision closes it immediately (the local run of a declined
+  target is ordinary mobile compute, not an offload span);
+* an offloaded decision advances through ``queue`` (fleet admission
+  wait), ``init`` (everything up to and including ``offload.init``),
+  ``exec`` (up to ``offload.exec``; ``fnptr.window`` trails the exec
+  marker but belongs to the window), ``finalize`` (up to
+  ``offload.finalize``);
+* ``offload.reject`` / ``offload.abort`` divert to their own phases and
+  the closing ``offload.fallback`` ends the invocation.
+
+**Lossless invariant**: every event of the input stream is claimed by
+exactly one phase (or by the session span itself, for
+``session.start``/``session.end``), and per-span duration sums reconcile
+with the ``session.end`` accounting totals to the same ``1e-9``
+tolerance as :func:`repro.trace.phase_totals` —
+:func:`validate_sessions` checks both and returns the discrepancies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..tracer import TraceEvent
+
+#: Tolerance for duration reconciliation — matches the existing
+#: phase/traffic reconciliation tests (tests/test_trace.py).
+RECONCILE_TOLERANCE = 1e-9
+
+#: Phase names in canonical order (for deterministic serialization).
+PHASES = ("decide", "queue", "init", "exec", "finalize",
+          "reject", "abort", "fallback")
+
+#: Invocation outcome classification.
+STATUSES = ("offloaded", "declined", "rejected", "aborted")
+
+
+@dataclass
+class PhaseSpan:
+    """One phase of an invocation and the raw events it claimed."""
+
+    name: str                       # one of PHASES
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def start(self) -> float:
+        return min(e.t for e in self.events) if self.events else 0.0
+
+    @property
+    def end(self) -> float:
+        return max(e.t + e.dur for e in self.events) if self.events \
+            else 0.0
+
+    @property
+    def anchor_seconds(self) -> float:
+        """The phase's modeled duration, from its anchor event.
+
+        ``queue``/``init``/``exec``/``finalize`` each carry exactly one
+        anchor event (``offload.queue`` / ``offload.init`` /
+        ``offload.exec`` / ``offload.finalize``) whose ``dur`` is the
+        phase's charged wall time; phases without an anchor report 0.
+        """
+        anchors = {"queue": "offload.queue", "init": "offload.init",
+                   "exec": "offload.exec", "finalize": "offload.finalize"}
+        category = anchors.get(self.name)
+        if category is None:
+            return 0.0
+        return sum(e.dur for e in self.events if e.category == category)
+
+
+@dataclass
+class InvocationSpan:
+    """One dynamic offload decision site execution."""
+
+    index: int                      # 0-based within the session
+    target: str
+    sid: Optional[str]
+    status: str = "declined"        # one of STATUSES
+    reason: Optional[str] = None    # decision payload reason
+    gain_seconds: Optional[float] = None
+    abort_phase: Optional[str] = None
+    phases: Dict[str, PhaseSpan] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseSpan:
+        span = self.phases.get(name)
+        if span is None:
+            span = PhaseSpan(name)
+            self.phases[name] = span
+        return span
+
+    def events(self) -> List[TraceEvent]:
+        out: List[TraceEvent] = []
+        for name in PHASES:
+            span = self.phases.get(name)
+            if span is not None:
+                out.extend(span.events)
+        return out
+
+    @property
+    def start(self) -> float:
+        events = self.events()
+        return min(e.t for e in events) if events else 0.0
+
+    @property
+    def end(self) -> float:
+        events = self.events()
+        return max(e.t + e.dur for e in events) if events else 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """The invocation's span on the device timeline.  An upper
+        bound: ``end`` extends to ``t + dur`` of the last event, and a
+        dur later re-attributed by ``comm.adjust`` (pipelined remote
+        input) can overstate the charged time."""
+        return max(self.end - self.start, 0.0)
+
+    @property
+    def queue_seconds(self) -> float:
+        phase = self.phases.get("queue")
+        return phase.anchor_seconds if phase else 0.0
+
+
+@dataclass
+class SessionSpan:
+    """One device session: the root of the span tree for one ``sid``."""
+
+    sid: Optional[str]
+    program: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    partial: bool = False           # stream truncated (no session.start)
+    events: List[TraceEvent] = field(default_factory=list)  # own events
+    invocations: List[InvocationSpan] = field(default_factory=list)
+    totals: Dict[str, object] = field(default_factory=dict)  # session.end
+
+    def event_count(self) -> int:
+        return len(self.events) + sum(len(inv.events())
+                                      for inv in self.invocations)
+
+
+class SpanReconstructionError(ValueError):
+    """The event stream violates the runtime's emission protocol."""
+
+
+# Categories that always belong to the *exec* window even though the
+# runtime emits them after the ``offload.exec`` anchor (the fn-ptr
+# window is aggregated and flushed once the server returns).
+_TRAILS_EXEC = ("fnptr.window",)
+
+
+def _close_invocation(session: SessionSpan,
+                      inv: Optional[InvocationSpan]) -> None:
+    if inv is not None:
+        session.invocations.append(inv)
+
+
+def reconstruct_session(events: Iterable[TraceEvent],
+                        sid: Optional[str] = None) -> SessionSpan:
+    """Fold one session's events (one ``sid``, ``seq`` order) into its
+    span tree.  Tolerant of a ring-buffer-truncated head: a stream that
+    does not open with ``session.start`` is marked ``partial`` and any
+    events that precede the first reconstructible invocation are owned
+    by the session span."""
+    session = SessionSpan(sid=sid)
+    inv: Optional[InvocationSpan] = None
+    phase = "decide"
+    saw_start = False
+    index = 0
+
+    for event in events:
+        cat = event.category
+        if cat == "session.start":
+            session.program = event.name
+            session.start = event.t
+            session.events.append(event)
+            saw_start = True
+            continue
+        if cat == "session.end":
+            if inv is not None:
+                # Truncation or a protocol break left an open invocation.
+                inv.status = inv.status or "declined"
+                _close_invocation(session, inv)
+                inv = None
+            session.program = session.program or event.name
+            session.end = event.t + event.dur
+            session.totals = dict(event.payload)
+            session.events.append(event)
+            continue
+
+        if inv is None:
+            if cat in ("estimate", "decision"):
+                inv = InvocationSpan(index=index, target=event.name,
+                                     sid=sid)
+                index += 1
+                phase = "decide"
+            else:
+                # No open invocation: pre-invocation noise (possible on
+                # a truncated stream) is owned by the session span.
+                session.events.append(event)
+                continue
+
+        if cat == "decision":
+            inv.target = event.name
+            inv.reason = event.payload.get("reason")
+            inv.gain_seconds = event.payload.get("gain_seconds")
+            inv.phase("decide").events.append(event)
+            if event.payload.get("offloaded"):
+                inv.status = "offloaded"
+                phase = "init"
+            else:
+                inv.status = "declined"
+                _close_invocation(session, inv)
+                inv = None
+            continue
+        if cat == "offload.queue":
+            inv.phase("queue").events.append(event)
+            continue
+        if cat == "offload.init":
+            inv.phase("init").events.append(event)
+            phase = "exec"
+            continue
+        if cat == "offload.exec":
+            inv.phase("exec").events.append(event)
+            phase = "finalize"
+            continue
+        if cat in _TRAILS_EXEC:
+            inv.phase("exec").events.append(event)
+            continue
+        if cat == "offload.finalize":
+            inv.phase("finalize").events.append(event)
+            _close_invocation(session, inv)
+            inv = None
+            continue
+        if cat == "offload.reject":
+            inv.status = "rejected"
+            inv.phase("reject").events.append(event)
+            phase = "fallback"
+            continue
+        if cat == "offload.abort":
+            inv.status = "aborted"
+            inv.abort_phase = event.payload.get("phase")
+            inv.phase("abort").events.append(event)
+            phase = "fallback"
+            continue
+        if cat == "offload.fallback":
+            inv.phase("fallback").events.append(event)
+            _close_invocation(session, inv)
+            inv = None
+            continue
+        if cat == "estimate" and phase != "decide":
+            # record_offload_failure re-estimates mid-abort: the event
+            # belongs to the failing invocation, not a new one.
+            inv.phase("abort").events.append(event)
+            inv.status = "aborted"
+            phase = "fallback"
+            continue
+        # Everything else (uva.*, comm.*, transport.*, rio.op, estimate
+        # in the decide window) rides the current phase.
+        inv.phase(phase).events.append(event)
+
+    if inv is not None:         # truncated tail: keep what we saw
+        _close_invocation(session, inv)
+    session.partial = not saw_start or not session.totals
+    if not session.events and not session.invocations:
+        session.partial = True
+    if session.end == 0.0:
+        ends = [i.end for i in session.invocations] + \
+            [e.t + e.dur for e in session.events]
+        session.end = max(ends) if ends else 0.0
+    return session
+
+
+def reconstruct_sessions(events: Iterable[TraceEvent]
+                         ) -> List[SessionSpan]:
+    """Group a (possibly merged fleet) stream by ``sid`` and reconstruct
+    each session's span tree.  Sessions are ordered by first appearance
+    in the stream, which for merged fleet traces is global-time order."""
+    by_sid: Dict[Optional[str], List[TraceEvent]] = {}
+    order: List[Optional[str]] = []
+    for event in events:
+        if event.sid not in by_sid:
+            by_sid[event.sid] = []
+            order.append(event.sid)
+        by_sid[event.sid].append(event)
+    sessions = []
+    for sid in order:
+        stream = sorted(by_sid[sid], key=lambda e: e.seq)
+        sessions.append(reconstruct_session(stream, sid=sid))
+    return sessions
+
+
+def _comm_seconds(events: Iterable[TraceEvent]) -> float:
+    total = 0.0
+    for e in events:
+        if e.category in ("comm.send", "comm.stream", "comm.rtt"):
+            total += e.dur
+        elif e.category == "comm.adjust":
+            total += e.payload.get("delta_seconds", 0.0)
+    return total
+
+
+def validate_sessions(sessions: List[SessionSpan],
+                      events: List[TraceEvent],
+                      tolerance: float = RECONCILE_TOLERANCE
+                      ) -> List[str]:
+    """The lossless invariant, as a list of discrepancies (empty = ok).
+
+    * every input event is claimed by exactly one span (conservation:
+      claimed count == stream length; the construction claims each event
+      at most once by design, so equality implies the bijection);
+    * per-session duration sums reconcile with the ``session.end``
+      accounting: communication, fn-ptr translation, remote I/O and raw
+      server execution re-derived from the spans match the totals the
+      session reported, within ``tolerance``.
+
+    Sessions marked ``partial`` (ring-buffer truncation) skip the
+    reconciliation checks — their totals are unknowable by construction.
+    """
+    issues: List[str] = []
+    claimed = sum(s.event_count() for s in sessions)
+    if claimed != len(events):
+        issues.append(f"event conservation: {claimed} claimed vs "
+                      f"{len(events)} in the stream")
+    for session in sessions:
+        label = session.sid or "session"
+        if session.partial:
+            continue
+        totals = session.totals
+        all_events = list(session.events)
+        for inv in session.invocations:
+            all_events.extend(inv.events())
+        checks: List[Tuple[str, float, float]] = [
+            ("comm_seconds", _comm_seconds(all_events),
+             float(totals.get("comm_seconds", 0.0))),
+            ("fnptr_seconds",
+             sum(e.payload.get("seconds", 0.0) for e in all_events
+                 if e.category == "fnptr.window"),
+             float(totals.get("fnptr_seconds", 0.0))),
+            ("remote_io_seconds",
+             sum(e.dur for e in all_events if e.category == "rio.op"),
+             float(totals.get("remote_io_seconds", 0.0))),
+            # offload.exec durs, plus the partial execution a mid-exec
+            # abort charged (carried on the offload.abort payload —
+            # the aborted window never emits offload.exec).
+            ("server_compute_seconds",
+             sum(e.dur for e in all_events
+                 if e.category == "offload.exec")
+             + sum(e.payload.get("server_seconds", 0.0)
+                   for e in all_events
+                   if e.category == "offload.abort"),
+             float(totals.get("server_compute_seconds", 0.0))),
+        ]
+        for name, derived, reported in checks:
+            if abs(derived - reported) > tolerance:
+                issues.append(f"{label}: {name} {derived!r} from spans "
+                              f"vs {reported!r} reported")
+        for inv in session.invocations:
+            if inv.status not in STATUSES:
+                issues.append(f"{label}: invocation {inv.index} has "
+                              f"unknown status {inv.status!r}")
+            # Bound-check on event *timestamps* only: ``dur`` is an
+            # attribution quantity, not a placement — a ``comm.rtt``
+            # later re-attributed by a negative ``comm.adjust``
+            # (pipelined remote input) can carry a dur far beyond its
+            # charged wall time, so ``t + dur`` may legitimately pass
+            # the session end.
+            events = inv.events()
+            last_t = max(e.t for e in events) if events else 0.0
+            if inv.start < session.start - tolerance or \
+                    last_t > session.end + tolerance:
+                issues.append(f"{label}: invocation {inv.index} "
+                              f"[{inv.start}, {last_t}] outside the "
+                              f"session [{session.start}, {session.end}]")
+    return issues

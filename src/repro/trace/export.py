@@ -47,10 +47,20 @@ def events_from_jsonl(text: str) -> List[TraceEvent]:
     return events
 
 
-def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
-    """Write a JSONL trace file; returns the number of events written."""
+def write_jsonl(events: Iterable[TraceEvent], path: str,
+                dropped: int = 0) -> int:
+    """Write a JSONL trace file; returns the number of events written.
+
+    The first line is a ``#`` header carrying the stream metadata —
+    event count and the tracer's ring-buffer drop counter — so a reader
+    can tell a complete trace from a truncated one without the live
+    :class:`~repro.trace.tracer.Tracer`.  ``events_from_jsonl`` skips
+    ``#`` lines, keeping the format round-trippable.
+    """
     events = list(events)
     with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro-trace v1 events={len(events)} "
+                 f"dropped={dropped}\n")
         text = events_to_jsonl(events)
         if text:
             fh.write(text + "\n")
@@ -62,14 +72,36 @@ def load_jsonl(path: str) -> List[TraceEvent]:
         return events_from_jsonl(fh.read())
 
 
+def read_jsonl_meta(path: str) -> Dict[str, int]:
+    """The header metadata of a JSONL trace (``{}`` for header-less
+    files written before the header existed — their drop count is
+    unknown, not zero)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+    meta: Dict[str, int] = {}
+    if first.startswith("# repro-trace"):
+        for token in first.split():
+            if "=" in token:
+                key, _, value = token.partition("=")
+                try:
+                    meta[key] = int(value)
+                except ValueError:
+                    pass
+    return meta
+
+
 # -- Chrome tracing ------------------------------------------------------
 def events_to_chrome_json(events: Iterable[TraceEvent],
-                          process_name: str = "repro offload session"
-                          ) -> str:
+                          process_name: str = "repro offload session",
+                          dropped: int = 0) -> str:
     """Render events in the Chrome Trace Event JSON-array format."""
+    events = list(events)
     chrome: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
         "args": {"name": process_name},
+    }, {
+        "name": "trace_meta", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"events": len(events), "dropped": dropped},
     }]
     for track_name, tid in sorted(_CHROME_TRACKS.items(),
                                   key=lambda kv: kv[1]):
@@ -95,6 +127,8 @@ def events_to_chrome_json(events: Iterable[TraceEvent],
 
 
 def write_chrome_trace(events: Iterable[TraceEvent], path: str,
-                       process_name: str = "repro offload session") -> None:
+                       process_name: str = "repro offload session",
+                       dropped: int = 0) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(events_to_chrome_json(events, process_name))
+        fh.write(events_to_chrome_json(events, process_name,
+                                       dropped=dropped))

@@ -98,6 +98,7 @@ def render_metrics(metrics: MetricsRegistry) -> str:
                 f"    {name:<32s} count={snap['count']} "
                 f"sum={_fmt_value(snap['sum'])} "
                 f"mean={_fmt_value(snap['mean'])} "
+                f"p95={_fmt_value(snap['p95'])} "
                 f"min={_fmt_value(snap['min'])} "
                 f"max={_fmt_value(snap['max'])}")
         else:

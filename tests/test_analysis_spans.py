@@ -1,0 +1,273 @@
+"""Span reconstruction tests: the lossless invariant of
+repro.trace.analysis.spans (ISSUE 5 satellite).
+
+The property under test, for seeded single-session and fleet runs —
+including fault schedules that force the abort/fallback path: every
+emitted event is claimed by exactly one span, and per-span durations
+reconcile with the ``session.end`` accounting to 1e-9
+(``validate_sessions`` returns no discrepancies).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import DeviceSpec, FleetScheduler, PoolOptions, ServerPool
+from repro.frontend import compile_c
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.profiler import profile_module
+from repro.runtime import (FAST_WIFI, FaultPlan, OffloadSession,
+                           SessionOptions, run_local)
+from repro.trace.analysis import (BUCKETS, aggregate_sessions,
+                                  attribute_invocation, invocation_counts,
+                                  reconstruct_sessions, validate_sessions)
+
+from conftest import HOT_KERNEL_SRC, HOT_KERNEL_STDIN
+
+# A workload touching every emission path the span state machine has to
+# fold: heap prefetch + write-back, remote input (fgets round trips),
+# remote output streaming, and repeat invocations so post-failure
+# decline decisions appear in the same stream as the abort.
+SPAN_SRC = r"""
+int *data;
+int kernel(int n, void *f) {
+    char line[32];
+    int i, acc = 0;
+    while (fgets(line, 32, f)) acc += atoi(line);
+    for (i = 0; i < n; i++) {
+        data[i % 64] += (i ^ acc) & 0xFF;
+        acc += data[i % 64] * 3;
+    }
+    printf("acc %d\n", acc);
+    return acc;
+}
+int main() {
+    int i, n, k, total = 0;
+    void *f;
+    scanf("%d", &n);
+    data = (int*) malloc(64 * sizeof(int));
+    for (i = 0; i < 64; i++) data[i] = i;
+    for (k = 0; k < 3; k++) {
+        f = fopen("nums.txt", "r");
+        if (!f) return 1;
+        total += kernel(n, f);
+        fclose(f);
+    }
+    printf("total %d\n", total);
+    return 0;
+}
+"""
+SPAN_STDIN = b"1200\n"
+SPAN_FILES = {"nums.txt": b"1\n2\n3\n4\n"}
+
+_PROGRAMS = {}
+
+
+def _compiled(key, source, stdin, files=None):
+    """Compile + profile once per module; sessions are cheap, compiles
+    are not (hypothesis runs many examples)."""
+    if key not in _PROGRAMS:
+        module = compile_c(source, key)
+        profile = profile_module(module, stdin=stdin, files=files)
+        program = NativeOffloaderCompiler(CompilerOptions()).compile(
+            module, profile)
+        local = run_local(module, stdin=stdin, files=files)
+        _PROGRAMS[key] = (program, local)
+    return _PROGRAMS[key]
+
+
+def _run(key, source, stdin, files=None, **session_kwargs):
+    program, local = _compiled(key, source, stdin, files)
+    session_kwargs.setdefault("enable_tracing", True)
+    session = OffloadSession(program, FAST_WIFI,
+                             options=SessionOptions(**session_kwargs),
+                             stdin=stdin,
+                             files=dict(files) if files else None)
+    return local, session.run()
+
+
+def _assert_lossless(events, *records):
+    """The invariant: reconstruct, validate, and (when SessionResult
+    invocation records are supplied) agree with the runtime's own
+    outcome counting."""
+    sessions = reconstruct_sessions(events)
+    assert validate_sessions(sessions, events) == []
+    if records:
+        expected = invocation_counts(r for result in records
+                                     for r in result.invocations)
+        agg = aggregate_sessions(sessions)
+        assert agg.invocations == expected
+    return sessions
+
+
+class TestSingleSession:
+    def test_clean_run_reconstructs_losslessly(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        sessions = _assert_lossless(res.trace.events(), res)
+        assert len(sessions) == 1
+        session = sessions[0]
+        assert not session.partial
+        assert session.program == "span"
+        assert len(session.invocations) == len(res.invocations)
+
+    def test_statuses_mirror_invocation_records(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        [session] = reconstruct_sessions(res.trace.events())
+        for span, rec in zip(session.invocations, res.invocations):
+            expected = ("offloaded" if rec.offloaded
+                        else "rejected" if rec.rejected
+                        else "aborted" if rec.aborted else "declined")
+            assert span.status == expected
+            assert span.target == rec.target
+
+    def test_offloaded_invocation_has_the_protocol_phases(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        [session] = reconstruct_sessions(res.trace.events())
+        inv = next(i for i in session.invocations
+                   if i.status == "offloaded")
+        for name in ("decide", "init", "exec", "finalize"):
+            assert name in inv.phases, f"missing phase {name}"
+        assert inv.phases["exec"].anchor_seconds > 0.0
+        assert inv.start >= session.start
+        assert inv.end <= session.end
+
+    def test_dead_link_abort_path(self):
+        """disconnect_after_messages=0 guarantees an init-phase abort
+        with a local fallback (tests/test_transport.py) — the hardest
+        stream for the state machine (mid-abort re-estimate events)."""
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES,
+                      fault_plan=FaultPlan(disconnect_after_messages=0))
+        assert res.aborted_invocations >= 1
+        sessions = _assert_lossless(res.trace.events(), res)
+        aborted = [i for s in sessions for i in s.invocations
+                   if i.status == "aborted"]
+        assert aborted
+        assert all("fallback" in i.phases for i in aborted)
+        assert aborted[0].abort_phase == "init"
+
+    def test_hot_kernel_session(self):
+        _, res = _run("hot", HOT_KERNEL_SRC, HOT_KERNEL_STDIN)
+        _assert_lossless(res.trace.events(), res)
+
+
+@given(seed=st.integers(0, 2**16),
+       disconnect_after=st.one_of(st.none(), st.integers(0, 25)),
+       drop_rate=st.sampled_from([0.0, 0.3, 0.7, 0.95]),
+       jitter=st.sampled_from([0.0, 5e-4]),
+       reconnect_rate=st.sampled_from([0.0, 0.5, 1.0]),
+       prefetch=st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_lossless_under_any_fault_schedule(seed, disconnect_after,
+                                           drop_rate, jitter,
+                                           reconnect_rate, prefetch):
+    """Whatever fault schedule the transport injects — disconnects
+    landing mid-init, mid-CoD, mid-finalize, retry storms, aborts with
+    their mid-stream re-estimates — the span tree stays lossless and
+    its durations reconcile with the session totals.  Dynamic
+    estimation is off so every invocation attempts the offload path,
+    maximizing protocol coverage."""
+    plan = FaultPlan(seed=seed, drop_rate=drop_rate, max_jitter_s=jitter,
+                     disconnect_after_messages=disconnect_after,
+                     reconnect_rate=reconnect_rate)
+    _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES,
+                  enable_dynamic_estimation=False,
+                  enable_prefetch=prefetch, fault_plan=plan)
+    _assert_lossless(res.trace.events(), res)
+
+
+class TestFleetStreams:
+    def _fleet(self, devices=3, fault_plans=None, capacity=1,
+               queue_limit=4, trace_capacity=None):
+        program, _ = _compiled("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        specs = []
+        for i in range(devices):
+            plan = fault_plans[i] if fault_plans else None
+            kwargs = {"enable_tracing": True, "fault_plan": plan}
+            if trace_capacity is not None:
+                kwargs["trace_capacity"] = trace_capacity
+            specs.append(DeviceSpec(
+                device_id=f"dev{i:02d}", program=program,
+                network=FAST_WIFI, stdin=SPAN_STDIN,
+                files=dict(SPAN_FILES),
+                start_offset_s=i * 0.01,
+                options=SessionOptions(**kwargs)))
+        pool = ServerPool(PoolOptions(servers=1, capacity=capacity,
+                                      queue_limit=queue_limit))
+        return FleetScheduler(specs, pool).run()
+
+    def test_merged_stream_splits_back_into_per_device_sessions(self):
+        result = self._fleet(devices=3)
+        events = result.merged_events()
+        sessions = _assert_lossless(
+            events, *[d.result for d in result.devices])
+        assert sorted(s.sid for s in sessions) == \
+            ["dev00", "dev01", "dev02"]
+        assert not any(s.partial for s in sessions)
+
+    def test_faulty_device_amid_healthy_fleet(self):
+        """One device's abort/fallback stream interleaved with two
+        healthy devices on the global timeline."""
+        plans = [None, FaultPlan(disconnect_after_messages=0), None]
+        result = self._fleet(devices=3, fault_plans=plans)
+        assert result.devices[1].result.aborted_invocations >= 1
+        sessions = _assert_lossless(
+            result.merged_events(),
+            *[d.result for d in result.devices])
+        faulty = next(s for s in sessions if s.sid == "dev01")
+        assert any(i.status == "aborted" for i in faulty.invocations)
+
+    def test_contended_pool_yields_queue_spans(self):
+        result = self._fleet(devices=4, capacity=1)
+        sessions = _assert_lossless(
+            result.merged_events(),
+            *[d.result for d in result.devices])
+        queued = [i for s in sessions for i in s.invocations
+                  if i.queue_seconds > 0.0]
+        if any(d.result.queue_seconds > 0 for d in result.devices):
+            assert queued
+
+    def test_truncated_ring_buffer_is_partial_but_conserved(self):
+        """A tiny ring buffer drops the stream's head: the session is
+        flagged partial (reconciliation is unknowable), but event
+        conservation still holds — nothing is double-claimed or lost."""
+        result = self._fleet(devices=1, trace_capacity=16)
+        tracer = result.devices[0].result.trace
+        assert tracer.dropped > 0
+        events = result.merged_events()
+        assert len(events) == 16
+        sessions = reconstruct_sessions(events)
+        assert sessions[0].partial
+        assert validate_sessions(sessions, events) == []
+
+
+class TestCriticalPathAttribution:
+    def test_buckets_are_nonnegative_and_named(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        [session] = reconstruct_sessions(res.trace.events())
+        for inv in session.invocations:
+            path = attribute_invocation(inv)
+            assert set(path.buckets) == set(BUCKETS)
+            assert all(v >= 0.0 for v in path.buckets.values())
+            assert path.dominant in BUCKETS + ("idle",)
+
+    def test_offloaded_invocation_is_server_or_comm_bound(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES)
+        [session] = reconstruct_sessions(res.trace.events())
+        inv = next(i for i in session.invocations
+                   if i.status == "offloaded")
+        path = attribute_invocation(inv)
+        assert path.buckets["server_compute"] > 0.0
+        assert path.total_seconds > 0.0
+        assert path.total_seconds == pytest.approx(
+            sum(path.buckets.values()))
+
+    def test_dead_link_books_retry_backoff_and_mobile_compute(self):
+        _, res = _run("span", SPAN_SRC, SPAN_STDIN, SPAN_FILES,
+                      fault_plan=FaultPlan(disconnect_after_messages=0))
+        [session] = reconstruct_sessions(res.trace.events())
+        inv = next(i for i in session.invocations
+                   if i.status == "aborted")
+        path = attribute_invocation(inv)
+        # the local replay books under mobile_compute; the burned retry
+        # budget under retry_backoff
+        assert path.buckets["mobile_compute"] > 0.0
+        assert path.buckets["retry_backoff"] > 0.0

@@ -15,7 +15,7 @@ from repro.eval.runner import run_program
 from repro.runtime import SessionOptions
 from repro.runtime.comm import (MESSAGE_HEADER_BYTES, PER_ITEM_HEADER_BYTES)
 from repro.trace import (CATEGORIES, CORE_CATEGORIES, NULL_TRACER,
-                         MetricsRegistry, TraceEvent, Tracer,
+                         Histogram, MetricsRegistry, TraceEvent, Tracer,
                          events_from_jsonl, events_to_chrome_json,
                          events_to_jsonl, phase_totals, render_metrics,
                          render_timeline, traffic_totals)
@@ -143,6 +143,100 @@ class TestMetrics:
         reg.histogram("uva.fault_seconds").observe(0.25)
         text = render_metrics(reg)
         assert "comm.messages" in text and "uva.fault_seconds" in text
+
+
+class TestHistogramPercentiles:
+    """The log-bucketed distribution behind the fleet aggregation
+    (docs/observability.md, "Distributions")."""
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.percentile(q) == 0.0
+        assert h.zeros == 0 and h.buckets == {}
+
+    def test_single_sample_is_exact(self):
+        h = Histogram("h")
+        h.observe(0.125)
+        # clamping to [min, max] makes single-sample queries exact even
+        # though the bucket bound overshoots
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.125
+
+    def test_zero_and_negative_observations(self):
+        h = Histogram("h")
+        for v in (0.0, 0.0, 0.0, 5.0):
+            h.observe(v)
+        assert h.zeros == 3
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 5.0
+        neg = Histogram("n")
+        neg.observe(-2.0)
+        assert neg.percentile(0.5) == -2.0
+
+    def test_percentile_within_bucket_error(self):
+        # nearest-rank via log buckets: the estimate is within one
+        # bucket growth factor of the true sample value
+        import math
+
+        from repro.trace.metrics import LOG_BUCKET_GROWTH
+        h = Histogram("h")
+        values = [1e-6 * (1.17 ** i) for i in range(200)]
+        for v in values:
+            h.observe(v)
+        ordered = sorted(values)
+        for q in (0.5, 0.95, 0.99):
+            true = ordered[max(1, math.ceil(q * len(ordered))) - 1]
+            est = h.percentile(q)
+            assert est <= true * LOG_BUCKET_GROWTH * 1.0001
+            assert est >= true / (LOG_BUCKET_GROWTH * 1.0001)
+
+    def test_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        values = [0.3, 7.0, 0.001, 2.0, 0.0, 11.0]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert a.percentile(q) == b.percentile(q)
+
+    def test_cross_device_merge_equals_single_stream(self):
+        dev_a, dev_b, combined = (Histogram("a"), Histogram("b"),
+                                  Histogram("c"))
+        stream_a = [0.001, 0.5, 0.0, 3.0]
+        stream_b = [0.02, 0.02, 9.0]
+        for v in stream_a:
+            dev_a.observe(v)
+            combined.observe(v)
+        for v in stream_b:
+            dev_b.observe(v)
+            combined.observe(v)
+        merged = dev_a.merge(dev_b)
+        assert merged is dev_a
+        assert merged.count == combined.count
+        # summation order differs (per-stream subtotal vs interleaved)
+        assert merged.total == pytest.approx(combined.total)
+        assert merged.zeros == combined.zeros
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+        assert merged.buckets == combined.buckets
+        for q in (0.1, 0.5, 0.95, 0.99):
+            assert merged.percentile(q) == combined.percentile(q)
+
+    def test_merge_with_empty_keeps_bounds(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.merge(Histogram("empty"))
+        assert (h.count, h.min, h.max) == (1, 2.0, 2.0)
+
+    def test_snapshot_carries_percentiles(self):
+        reg = MetricsRegistry()
+        for v in (0.1, 0.2, 0.4):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()["h"]
+        assert set(("p50", "p95", "p99")) <= set(snap)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
 
 
 # ---------------------------------------------------------------------------
