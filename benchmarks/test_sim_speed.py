@@ -1,0 +1,180 @@
+"""Simulator-speed benchmark: wall-clock cost of the event-driven
+fleet core, swept to 10k devices (docs/simulator.md).
+
+Simulator speed is a gated metric alongside bytes-on-wire and decline
+rate: the sweep records wall-clock per fleet run, per device and per
+simulated invocation into ``BENCH_simspeed.json``, together with the
+*deterministic* replay accounting (session runs beyond the theoretical
+minimum, segment-cache hits) that CI gates via ``python -m repro report
+--bench`` — wall-clock keys are deliberately named so the generic bench
+differ treats them as informational (machine noise must not fail CI),
+while a broken segment cache shows up as ``session_runs_wasted > 0``
+and fails deterministically.
+
+``SIM_SPEED_SMOKE=1`` shrinks the sweep for the CI smoke job;
+``SIM_SPEED_OUT`` redirects the output file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (DeviceSpec, FleetScheduler,
+                         LockstepFleetScheduler, PoolOptions, SeedFanout,
+                         ServerPool, arrival_offsets)
+from repro.frontend import compile_c
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.profiler import profile_module
+from repro.runtime import FAST_WIFI, run_local
+
+SMOKE = bool(os.environ.get("SIM_SPEED_SMOKE"))
+RESULT_PATH = Path(os.environ.get(
+    "SIM_SPEED_OUT",
+    Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"))
+
+SEED = 0
+SPACING_S = 0.002
+#: Uncontended pool: one server with ample slots, so every device sees
+#: the same (zero-queue) admission script and the segment cache shares
+#: all interpreter work.  Contended-pool *behavior* is BENCH_fleet.json
+#: territory; this file measures the simulator itself.
+POOL = dict(servers=1, capacity=64, queue_limit=8)
+INVOCATIONS_PER_DEVICE = 3
+
+EVENT_SIZES = [10, 100] if SMOKE else [10, 100, 1000, 10000]
+LOCKSTEP_SIZES = [10] if SMOKE else [10, 50, 100]
+
+SIM_SRC = r"""
+int *data;
+int n;
+
+int crunch(void) {
+    int i, r, acc = 0;
+    for (r = 0; r < 40; r++) {
+        for (i = 0; i < n; i++) {
+            acc += (data[i] * 31 + r) ^ (acc >> 3);
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i, k;
+    scanf("%d", &n);
+    data = (int*) malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    for (k = 0; k < 3; k++) printf("crunched %d\n", crunch());
+    return 0;
+}
+"""
+SIM_STDIN = b"150\n"
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    module = compile_c(SIM_SRC, "sim-speed")
+    profile = profile_module(module, stdin=SIM_STDIN)
+    program = NativeOffloaderCompiler(
+        CompilerOptions(forced_targets=["crunch"])).compile(
+            module, profile)
+    local = run_local(module, stdin=SIM_STDIN)
+    return program, local
+
+
+def _specs(program, devices: int):
+    fan = SeedFanout(SEED)
+    offsets = arrival_offsets("uniform", devices, SPACING_S,
+                              fan.rng("arrivals"))
+    return [DeviceSpec(device_id=f"dev{i:05d}", program=program,
+                       network=FAST_WIFI, stdin=SIM_STDIN,
+                       start_offset_s=offsets[i])
+            for i in range(devices)]
+
+
+def _measure(scheduler_cls, program, devices: int):
+    scheduler = scheduler_cls(_specs(program, devices),
+                              ServerPool(PoolOptions(**POOL)))
+    t0 = time.perf_counter()
+    result = scheduler.run()
+    wall_s = time.perf_counter() - t0
+    invocations = sum(len(d.result.invocations) for d in result.devices)
+    point = {
+        "devices": devices,
+        "invocations": invocations,
+        # Deterministic (gated): simulation output must not drift.
+        "makespan_s": result.makespan_s,
+        # Informational (never gated): machine-dependent wall clock.
+        "wall_ms": wall_s * 1e3,
+        "wall_ms_per_device": wall_s * 1e3 / devices,
+        "wall_ms_per_invocation": (wall_s * 1e3 / invocations
+                                   if invocations else 0.0),
+    }
+    if isinstance(scheduler, FleetScheduler):
+        stats = scheduler.replay.stats()
+        # Deterministic (gated): replays beyond the k+1 theoretical
+        # minimum mean the segment cache broke.
+        point["session_runs_wasted"] = (
+            stats["session_runs"] - (INVOCATIONS_PER_DEVICE + 1))
+        point["segment_cache_hits"] = stats["shared_hits"]
+    return point, result
+
+
+def test_sim_speed_sweep(compiled):
+    program, local = compiled
+
+    event_points = {}
+    event_walls = {}
+    for n in EVENT_SIZES:
+        point, result = _measure(FleetScheduler, program, n)
+        # Spot-check correctness on the cheapest fleet only — verifying
+        # 10k stdouts would dominate the measurement.
+        if n == EVENT_SIZES[0]:
+            assert all(d.result.stdout == local.stdout
+                       for d in result.devices)
+        assert point["session_runs_wasted"] == 0, \
+            f"segment cache broke at {n} devices: {point}"
+        event_points[str(n)] = point
+        event_walls[n] = point["wall_ms"]
+
+    lockstep_points = {}
+    lockstep_walls = {}
+    for n in LOCKSTEP_SIZES:
+        point, _ = _measure(LockstepFleetScheduler, program, n)
+        lockstep_points[str(n)] = point
+        lockstep_walls[n] = point["wall_ms"]
+
+    # Same simulation, either engine: the deterministic outputs agree.
+    for n in set(EVENT_SIZES) & set(LOCKSTEP_SIZES):
+        assert (event_points[str(n)]["makespan_s"]
+                == lockstep_points[str(n)]["makespan_s"]), \
+            f"engines disagree on makespan at {n} devices"
+
+    payload = {
+        "workload": "sim-speed (3x crunch per device, uncontended pool)",
+        "network": "802.11ac",
+        "seed": SEED,
+        "spacing_s": SPACING_S,
+        "pool": dict(POOL),
+        "smoke": SMOKE,
+        "event": event_points,
+        "lockstep": lockstep_points,
+    }
+
+    if not SMOKE:
+        # Acceptance bar (ISSUE 6): >=10x over lockstep at 100+ devices,
+        # sub-linear wall-clock growth through 10k.
+        ratio_100 = lockstep_walls[100] / event_walls[100]
+        payload["wall_ratio_lockstep_over_event_at_100"] = ratio_100
+        assert ratio_100 >= 10.0, \
+            f"event core only {ratio_100:.1f}x faster at 100 devices"
+        growth = event_walls[10000] / event_walls[1000]
+        payload["wall_growth_1000_to_10000"] = growth
+        assert growth < 5.0, \
+            f"wall-clock grew {growth:.1f}x for 10x devices (super-linear)"
+
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -25,8 +25,9 @@ from .eval import (evaluate_suite, figure6a_execution_time,
                    figure8_power_traces, render_figure6, render_figure7,
                    render_figure8, render_table1, render_table2,
                    render_table3, render_table4, render_table5)
-from .fleet import (DeviceSpec, FleetScheduler, PoolOptions, SeedFanout,
-                    ServerPool, arrival_offsets)
+from .fleet import (DEFAULT_ENGINE, SCHEDULER_ENGINES, DeviceSpec,
+                    PoolOptions, SeedFanout, ServerPool, arrival_offsets,
+                    make_scheduler)
 from .frontend import compile_c
 from .offload import CompilerOptions, NativeOffloaderCompiler
 from .profiler import profile_module
@@ -307,7 +308,8 @@ def _run_fleet(args, network, enable_tracing: bool):
     pool = ServerPool(PoolOptions(servers=args.servers,
                                   capacity=args.capacity,
                                   queue_limit=args.queue_limit))
-    result = FleetScheduler(devices, pool).run()
+    engine = getattr(args, "scheduler", DEFAULT_ENGINE)
+    result = make_scheduler(devices, pool, engine=engine).run()
     return result, base_plan, module, stdin, files
 
 
@@ -579,6 +581,14 @@ def build_parser() -> argparse.ArgumentParser:
                         f"kernel; any `list` name works)")
     p.add_argument("--network", default="802.11ac",
                    help=f"one of {sorted(NETWORKS)}")
+    p.add_argument("--scheduler", default=DEFAULT_ENGINE,
+                   choices=list(SCHEDULER_ENGINES),
+                   help="fleet execution engine (default "
+                        f"{DEFAULT_ENGINE!r}): 'event' is the single-"
+                        "threaded discrete-event core; 'lockstep' is "
+                        "the deprecated one-thread-per-device "
+                        "reference engine (byte-identical results, "
+                        "unusable beyond tens of devices)")
     p.add_argument("--json", metavar="PATH",
                    help="write the fleet summary as JSON")
     p.add_argument("--jsonl", metavar="PATH",
@@ -627,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
                         f"{FLEET_MICRO_WORKLOAD!r})")
     p.add_argument("--network", default="802.11ac",
                    help=f"one of {sorted(NETWORKS)}")
+    p.add_argument("--scheduler", default=DEFAULT_ENGINE,
+                   choices=list(SCHEDULER_ENGINES),
+                   help="fleet execution engine for live runs "
+                        f"(default {DEFAULT_ENGINE!r}; 'lockstep' is "
+                        "deprecated)")
     _add_fault_args(p)
     p.set_defaults(func=cmd_report)
 

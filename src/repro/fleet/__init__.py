@@ -6,20 +6,36 @@ when N devices share M servers — without touching a line of session
 logic.  Devices are plain :class:`~repro.runtime.session.OffloadSession`
 instances wired to a shared :class:`~repro.fleet.pool.ServerPool`
 through the :class:`~repro.runtime.backend.OffloadDispatcher` seam, and
-a deterministic discrete-event :class:`FleetScheduler` serializes their
-interactions (docs/fleet.md).
+a single-threaded discrete-event :class:`FleetScheduler` serializes
+their interactions (docs/fleet.md, docs/simulator.md).  The deprecated
+one-thread-per-device engine is retained as
+:class:`LockstepFleetScheduler` — the reference the differential test
+checks the event core against.
 """
 
 from .clock import EventQueue, SimClock
+from .events import (ADMISSION_REQUEST, ARRIVAL, COMPLETION, EVENT_KINDS,
+                     DeviceState)
+from .lockstep import LockstepFleetScheduler
 from .pool import PoolOptions, ServerPool, ServerStats
-from .scheduler import (DeviceOutcome, DeviceSpec, FleetResult,
-                        FleetScheduler, arrival_offsets)
+from .replay import (OutcomeProjection, ScriptedDispatcher, Segment,
+                     SegmentBoundary, SegmentCache, behavior_key)
+from .result import DeviceOutcome, FleetResult
+from .scheduler import (DEFAULT_ENGINE, SCHEDULER_ENGINES, FleetScheduler,
+                        make_scheduler)
 from .seeding import SeedFanout, derive_seed
+from .spec import DeviceSpec, arrival_offsets
 
 __all__ = [
     "EventQueue", "SimClock",
+    "ARRIVAL", "ADMISSION_REQUEST", "COMPLETION", "EVENT_KINDS",
+    "DeviceState",
     "PoolOptions", "ServerPool", "ServerStats",
-    "DeviceOutcome", "DeviceSpec", "FleetResult", "FleetScheduler",
+    "OutcomeProjection", "ScriptedDispatcher", "Segment",
+    "SegmentBoundary", "SegmentCache", "behavior_key",
+    "DeviceOutcome", "DeviceSpec", "FleetResult",
+    "FleetScheduler", "LockstepFleetScheduler",
+    "DEFAULT_ENGINE", "SCHEDULER_ENGINES", "make_scheduler",
     "arrival_offsets",
     "SeedFanout", "derive_seed",
 ]

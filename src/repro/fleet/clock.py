@@ -4,10 +4,12 @@ A fleet run is a discrete-event simulation over *global* time: each
 device session keeps its own session-local clock (exactly the
 single-session ``OffloadSession.now()``), and the scheduler maps it to
 the fleet timeline by adding the device's start offset.  The scheduler
-serves admission requests strictly in global-time order through an
+pops events strictly in global-time order through an
 :class:`EventQueue`; :class:`SimClock` tracks the high-water mark so a
-misordered request (which would mean the device-thread rendezvous broke)
-fails loudly instead of silently corrupting the queueing model.
+misordered event (which would mean the simulation invariants broke)
+fails loudly instead of silently corrupting the queueing model.  The
+full API contract — including how to add a new event type — is
+documented in docs/simulator.md.
 """
 
 from __future__ import annotations

@@ -1,0 +1,208 @@
+"""The retained thread-lockstep scheduler (deprecated).
+
+This is the fleet's original execution engine: one OS thread per device
+session, with the scheduler keeping the whole fleet in *lockstep* — at
+most one device thread ever runs, and control passes at exactly the
+points where devices interact (admission requests).  It is superseded
+by the event-driven :class:`~repro.fleet.scheduler.FleetScheduler`,
+which produces byte-identical results with no threads and no
+per-device thread cost; the lockstep engine is retained as the
+reference implementation the differential test
+(``tests/test_fleet_differential.py``) checks the event core against,
+and is reachable via ``--scheduler lockstep`` on the CLI.  It caps out
+at tens of devices (one OS thread each) — do not use it for scale.
+
+The rendezvous protocol:
+
+1. every device runs until it blocks on ``admit`` or finishes;
+2. the scheduler pops the earliest pending request — ordered by
+   ``(global arrival time, device index)`` through the
+   :class:`~repro.fleet.clock.EventQueue` — serves it against the
+   :class:`~repro.fleet.pool.ServerPool`, and resumes that one device;
+3. the device charges the admission's queueing delay (or the rejection's
+   local fallback) into its own timeline and energy, releases the slot
+   when the invocation completes, and eventually blocks again.
+
+Because a device's requests are monotone in time and its release always
+precedes its next request, every ``admit`` observes fully-resolved slot
+times — the pool never guesses (pool.py's hindsight-exactness).  The
+event-driven core preserves exactly this pool call order, which is why
+the two engines agree byte-for-byte (docs/fleet.md, "Lockstep vs
+event-driven").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import List, Optional
+
+from ..runtime.backend import Admission, OffloadDispatcher
+from ..runtime.session import OffloadSession, SessionOptions, SessionResult
+from .clock import EventQueue, SimClock
+from .pool import ServerPool
+from .result import DeviceOutcome, FleetResult
+from .spec import DeviceSpec
+
+#: How long (wall-clock) the scheduler waits for a device thread to
+#: reach its next rendezvous before declaring the lockstep broken.
+RENDEZVOUS_TIMEOUT_S = 300.0
+
+
+class _PooledDispatcher(OffloadDispatcher):
+    """The session-side end of the rendezvous: blocks the device thread
+    until the scheduler has served its admission request."""
+
+    def __init__(self, worker: "_DeviceWorker"):
+        self.worker = worker
+
+    def admit(self, target_name: str, now_s: float):
+        return self.worker.request_admission(target_name, now_s)
+
+    def release(self, admission: Admission, now_s: float) -> None:
+        self.worker.release_slot(admission, now_s)
+
+
+class _DeviceWorker:
+    """One device session on its own thread, lockstepped by events."""
+
+    def __init__(self, index: int, spec: DeviceSpec, pool: ServerPool,
+                 timeout_s: float):
+        self.index = index
+        self.spec = spec
+        self.pool = pool
+        self.timeout_s = timeout_s
+        self.offset = spec.start_offset_s
+        # quiescent: the device is blocked on admission or finished —
+        # the only states in which the scheduler may act.
+        self.quiescent = threading.Event()
+        self.resume = threading.Event()
+        self.done = threading.Event()
+        self.pending = None         # (target_name, global_arrival_t)
+        self.outcome = None         # Admission | Rejection handed back
+        self.result: Optional[SessionResult] = None
+        self.error: Optional[BaseException] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"fleet-{spec.device_id}", daemon=True)
+
+    # -- device thread -------------------------------------------------
+    def _run(self) -> None:
+        try:
+            base = self.spec.options or SessionOptions()
+            options = replace(base,
+                              dispatcher=_PooledDispatcher(self),
+                              session_id=self.spec.device_id)
+            session = OffloadSession(self.spec.program, self.spec.network,
+                                     options=options,
+                                     stdin=self.spec.stdin,
+                                     files=self.spec.files)
+            self.result = session.run()
+        except BaseException as exc:    # surfaced by the scheduler
+            self.error = exc
+        finally:
+            self.done.set()
+            self.quiescent.set()
+
+    def request_admission(self, target_name: str, now_s: float):
+        self.pending = (target_name, self.offset + now_s)
+        self.quiescent.set()
+        if not self.resume.wait(self.timeout_s):
+            raise RuntimeError(
+                f"{self.spec.device_id}: scheduler never served the "
+                f"admission request (lockstep rendezvous broken)")
+        self.resume.clear()
+        outcome, self.outcome = self.outcome, None
+        return outcome
+
+    def release_slot(self, admission: Admission, now_s: float) -> None:
+        # Lockstep means this device thread is the only one running, so
+        # the pool needs no lock here.
+        self.pool.release(admission, self.offset + now_s)
+
+    # -- scheduler side ------------------------------------------------
+    def serve(self, outcome) -> None:
+        self.pending = None
+        self.outcome = outcome
+        self.quiescent.clear()
+        self.resume.set()
+        if not self.quiescent.wait(self.timeout_s):
+            raise RuntimeError(
+                f"{self.spec.device_id}: device thread never reached "
+                f"its next rendezvous")
+
+
+class LockstepFleetScheduler:
+    """Run a fleet on the deprecated one-thread-per-device engine.
+
+    Same inputs, same outputs as the event-driven
+    :class:`~repro.fleet.scheduler.FleetScheduler` — byte-identical
+    summaries, merged traces and per-device results for the same seed —
+    but wall-clock and memory scale with one OS thread per device.
+    Kept as the differential-test reference; prefer the event core.
+    """
+
+    def __init__(self, devices: List[DeviceSpec], pool: ServerPool,
+                 rendezvous_timeout_s: float = RENDEZVOUS_TIMEOUT_S):
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        self.pool = pool
+        self.clock = SimClock()
+        self._workers = [_DeviceWorker(i, spec, pool,
+                                       rendezvous_timeout_s)
+                         for i, spec in enumerate(devices)]
+
+    def run(self) -> FleetResult:
+        workers = self._workers
+        # Sequential start: each device runs to its first rendezvous
+        # alone, so even session construction is fully serialized.
+        for w in workers:
+            w.thread.start()
+            if not w.quiescent.wait(w.timeout_s):
+                raise RuntimeError(
+                    f"{w.spec.device_id}: device never reached its "
+                    f"first rendezvous")
+            self._check(w)
+
+        queue = EventQueue()
+        enqueued = set()
+        while True:
+            for w in workers:
+                self._check(w)
+                if (w.pending is not None and not w.done.is_set()
+                        and w.index not in enqueued):
+                    queue.push(w.pending[1], w.index)
+                    enqueued.add(w.index)
+            if not queue:
+                break
+            arrival_t, index, _ = queue.pop()
+            enqueued.discard(index)
+            worker = workers[index]
+            target_name, pending_t = worker.pending
+            self.clock.advance_to(arrival_t)
+            outcome = self.pool.admit(target_name, pending_t,
+                                      priority=worker.spec.priority)
+            worker.serve(outcome)
+
+        for w in workers:
+            w.thread.join(w.timeout_s)
+            self._check(w)
+            if w.result is None:
+                raise RuntimeError(
+                    f"{w.spec.device_id}: device finished without a "
+                    f"session result")
+
+        outcomes = [DeviceOutcome(device_id=w.spec.device_id,
+                                  index=w.index,
+                                  start_offset_s=w.offset,
+                                  priority=w.spec.priority,
+                                  result=w.result)
+                    for w in workers]
+        makespan = max(o.completion_s for o in outcomes)
+        return FleetResult(devices=outcomes, pool=self.pool,
+                           makespan_s=makespan)
+
+    def _check(self, worker: _DeviceWorker) -> None:
+        if worker.error is not None:
+            raise RuntimeError(
+                f"device {worker.spec.device_id} failed"
+            ) from worker.error

@@ -3,8 +3,9 @@
 Replaces the paper's dedicated offload server with N servers of
 ``capacity`` execution slots each.  Admission is hindsight-exact because
 the fleet scheduler serves requests in global-arrival order *after* the
-previous occupant's release has been recorded (the thread-lockstep
-rendezvous in ``scheduler.py``), so each slot's ``busy_until`` is an
+previous occupant's release has been recorded (the event-driven core
+applies each admission's replayed release before serving the next
+request — docs/simulator.md), so each slot's ``busy_until`` is an
 actual completion time, never a guess:
 
 * ``admit`` routes a request to the (wait, server-id)-least pair among
@@ -104,8 +105,9 @@ class ServerPool:
         """Route one offload request arriving at global ``arrival_t``.
 
         Must be called in nondecreasing arrival order with every prior
-        admission already released (the scheduler's lockstep guarantees
-        this; direct users replay history admit/release-interleaved).
+        admission already released (both fleet engines guarantee this
+        admit/release interleaving — docs/fleet.md, "Scheduling
+        model"; direct users replay history the same way).
         """
         if self._outstanding:
             raise RuntimeError(

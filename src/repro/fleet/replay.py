@@ -1,0 +1,255 @@
+"""Scripted re-execution: how the event-driven scheduler advances a
+device without a thread.
+
+The guest interpreter is deeply recursive (one Python frame per guest
+frame), so a device session cannot be suspended mid-stack and resumed
+later — the lockstep scheduler parked each session on its own OS
+thread precisely to get that suspension.  The event-driven core takes
+the opposite route: a device is advanced by *re-running its session
+from program start* against a :class:`ScriptedDispatcher` that replays
+the admission outcomes the pool already granted, verbatim, and stops
+the session at the first admission request the script does not cover
+(docs/simulator.md, "Replay, not resumption").
+
+This is exact, not approximate, because a session is a deterministic
+function of the *projection* of its admission outcomes — the only
+fields a session ever reads are ``Admission.server_id``,
+``Admission.queue_seconds`` and ``Rejection.estimated_wait_s``
+(``start_s``/``token`` are pool bookkeeping the session never touches).
+Same script in, same execution out: same timeline, same energy, same
+trace, same estimator state.
+
+Naively this costs O(k^2) interpreter work for a device with k
+admissions.  The :class:`SegmentCache` removes that in the common case:
+devices whose specs agree on everything behavior-relevant (program,
+network, stdin, files, options minus identity fields) form a *behavior
+class*, and within a class a segment replay is a pure function of the
+outcome script — so N identical devices with identical scripts cost
+k+1 session runs **total**, not per device.  Traced devices share the
+intermediate segments (a request boundary carries no trace) but always
+run their final segment privately, because the finished result embeds
+the device's session id in every trace event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.backend import Admission, OffloadDispatcher, Rejection
+from ..runtime.session import OffloadSession, SessionOptions, SessionResult
+from .spec import DeviceSpec
+
+
+@dataclass(frozen=True)
+class OutcomeProjection:
+    """The session-visible part of one admission outcome.
+
+    This is the *entire* channel from the pool into a device session;
+    everything else on :class:`~repro.runtime.backend.Admission` is
+    pool-internal.  Hashable, so outcome scripts can key the
+    :class:`SegmentCache`.
+    """
+
+    admitted: bool
+    server_id: int = 0
+    queue_seconds: float = 0.0
+    estimated_wait_s: float = 0.0
+
+    @classmethod
+    def of(cls, outcome) -> "OutcomeProjection":
+        """Project a real pool outcome down to what sessions can see."""
+        if isinstance(outcome, Admission):
+            return cls(admitted=True, server_id=outcome.server_id,
+                       queue_seconds=outcome.queue_seconds)
+        if isinstance(outcome, Rejection):
+            return cls(admitted=False,
+                       estimated_wait_s=outcome.estimated_wait_s)
+        raise TypeError(f"not an admission outcome: {outcome!r}")
+
+    def materialize(self):
+        """The synthetic outcome handed to a replayed session."""
+        if self.admitted:
+            return Admission(server_id=self.server_id,
+                             queue_seconds=self.queue_seconds)
+        return Rejection(estimated_wait_s=self.estimated_wait_s)
+
+
+class SegmentBoundary(BaseException):
+    """Raised inside a replayed session at the first unscripted
+    admission request — the signal that the segment is over.
+
+    Deliberately a ``BaseException``: the runtime has no broad
+    ``except BaseException`` handlers on the session path, so the
+    boundary unwinds cleanly through the recursive interpreter without
+    being mistaken for a guest-program error.
+    """
+
+    def __init__(self, target_name: str, now_s: float):
+        super().__init__(target_name, now_s)
+        self.target_name = target_name
+        self.now_s = now_s
+
+
+class ScriptedDispatcher(OffloadDispatcher):
+    """Replays a recorded outcome script into a session.
+
+    Admission request k gets the script's k-th outcome; the first
+    request past the end of the script raises :class:`SegmentBoundary`.
+    Release times are recorded (in session-local time) so the scheduler
+    can hand the *real* pool slot back at exactly the instant the
+    lockstep device thread would have.
+    """
+
+    def __init__(self, script: Tuple[OutcomeProjection, ...]):
+        self._script = script
+        self._cursor = 0
+        self._admissions_granted = 0
+        self.release_times: List[float] = []
+
+    def admit(self, target_name: str, now_s: float):
+        if self._cursor >= len(self._script):
+            raise SegmentBoundary(target_name, now_s)
+        outcome = self._script[self._cursor]
+        self._cursor += 1
+        if outcome.admitted:
+            self._admissions_granted += 1
+        return outcome.materialize()
+
+    def release(self, admission: Admission, now_s: float) -> None:
+        self.release_times.append(now_s)
+
+    @property
+    def last_release_t(self) -> Optional[float]:
+        """Session-local release time of the script's final admission
+        (None when the script is empty or ends in a rejection)."""
+        if not self._admissions_granted:
+            return None
+        if len(self.release_times) != self._admissions_granted:
+            raise RuntimeError(
+                "replayed session ended with an unreleased admission "
+                f"({len(self.release_times)} releases for "
+                f"{self._admissions_granted} admissions)")
+        return self.release_times[-1]
+
+
+@dataclass
+class Segment:
+    """What one replayed execution segment produced.
+
+    Either the device stopped at its next admission request
+    (``target``/``local_t`` set) or it ran to completion (``result``
+    set).  ``release_local_t`` is the session-local time the script's
+    final admission was released — the scheduler applies it to the real
+    pool before serving anyone else, preserving the lockstep pool call
+    order admit(k), release(k), admit(k+1).
+    """
+
+    target: Optional[str] = None
+    local_t: Optional[float] = None
+    result: Optional[SessionResult] = None
+    release_local_t: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+#: SessionOptions fields that do not influence a session's behavior
+#: given a fixed outcome script — identity tags and fleet wiring.
+_IDENTITY_FIELDS = ("session_id", "dispatcher")
+
+
+def behavior_key(spec: DeviceSpec) -> tuple:
+    """The behavior class of a device: a hashable key equal for two
+    specs exactly when their sessions are behaviorally interchangeable
+    under identical outcome scripts.
+
+    Unhashable or stateful option values (fault plans are frozen and
+    hash by value; anything else falls back to object identity) only
+    ever make the key *finer*, never coarser — a too-fine key costs
+    speed, a too-coarse one would cost correctness.
+    """
+    base = spec.options or SessionOptions()
+    parts = []
+    for field in dataclasses.fields(SessionOptions):
+        if field.name in _IDENTITY_FIELDS:
+            continue
+        value = getattr(base, field.name)
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        try:
+            hash(value)
+        except TypeError:
+            value = ("id", id(value))
+        parts.append(value)
+    if spec.files:
+        files_key = tuple(sorted(
+            (name, bytes(data)) for name, data in spec.files.items()))
+    else:
+        files_key = None
+    return (id(spec.program), id(spec.network), bytes(spec.stdin),
+            files_key, tuple(parts))
+
+
+def run_segment(spec: DeviceSpec,
+                script: Tuple[OutcomeProjection, ...]) -> Segment:
+    """Run one fresh session for ``spec`` under ``script`` and capture
+    where it stops."""
+    dispatcher = ScriptedDispatcher(script)
+    base = spec.options or SessionOptions()
+    options = replace(base, dispatcher=dispatcher,
+                      session_id=spec.device_id)
+    session = OffloadSession(spec.program, spec.network, options=options,
+                             stdin=spec.stdin, files=spec.files)
+    try:
+        result = session.run()
+    except SegmentBoundary as boundary:
+        return Segment(target=boundary.target_name,
+                       local_t=boundary.now_s,
+                       release_local_t=dispatcher.last_release_t)
+    return Segment(result=result,
+                   release_local_t=dispatcher.last_release_t)
+
+
+class SegmentCache:
+    """Cross-device memoization of replayed segments.
+
+    Keyed by ``(behavior class, outcome script)``.  Request boundaries
+    are always shareable (they carry no per-device identity); finished
+    results are shareable only for untraced devices — a traced result
+    embeds the session id in every event, so traced devices always run
+    their final segment themselves.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[tuple, Segment] = {}
+        self.session_runs = 0
+        self.shared_hits = 0
+
+    def advance(self, spec: DeviceSpec,
+                script: Tuple[OutcomeProjection, ...]) -> Segment:
+        """The segment ``spec`` executes after ``script`` — from cache
+        when a behaviorally identical device already ran it."""
+        base = spec.options or SessionOptions()
+        traced = bool(base.enable_tracing)
+        key = (behavior_key(spec), script)
+        hit = self._segments.get(key)
+        if hit is not None and (not hit.done or not traced):
+            self.shared_hits += 1
+            return hit
+        segment = run_segment(spec, script)
+        self.session_runs += 1
+        if not segment.done or not traced:
+            self._segments[key] = segment
+        return segment
+
+    def stats(self) -> dict:
+        """Replay accounting (surfaced by benchmarks/test_sim_speed.py
+        to gate cache regressions)."""
+        return {
+            "session_runs": self.session_runs,
+            "shared_hits": self.shared_hits,
+            "distinct_segments": len(self._segments),
+        }

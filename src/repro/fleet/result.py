@@ -1,0 +1,148 @@
+"""Fleet run results: per-device outcomes, the fleet summary, and the
+merged global trace.
+
+Both schedulers (the event-driven :class:`~repro.fleet.scheduler.
+FleetScheduler` and the retained :class:`~repro.fleet.lockstep.
+LockstepFleetScheduler`) produce exactly this structure — the
+differential test in ``tests/test_fleet_differential.py`` holds them to
+byte-identical serializations of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..runtime.session import SessionResult
+from ..trace.analysis.aggregate import (invocation_counts,
+                                        nearest_rank_percentile)
+from ..trace.tracer import TraceEvent
+from .pool import ServerPool
+
+
+@dataclass
+class DeviceOutcome:
+    """One device's run, placed on the global timeline."""
+
+    device_id: str
+    index: int
+    start_offset_s: float
+    priority: bool
+    result: SessionResult
+
+    @property
+    def completion_s(self) -> float:
+        """Global time the device's whole program finished."""
+        return self.start_offset_s + self.result.total_seconds
+
+
+# The one nearest-rank percentile definition, shared with the report
+# (repro.trace.analysis) so the two can never disagree.
+_percentile = nearest_rank_percentile
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced.
+
+    ``devices`` holds one :class:`DeviceOutcome` per
+    :class:`~repro.fleet.spec.DeviceSpec`, in spec order; ``pool`` is
+    the (now fully drained) :class:`~repro.fleet.pool.ServerPool` with
+    its per-server statistics; ``makespan_s`` is the latest device
+    completion on the global clock.  :meth:`summary` renders the
+    JSON-safe fleet report, :meth:`merged_events` the fleet-wide trace.
+    """
+
+    devices: List[DeviceOutcome]
+    pool: ServerPool
+    makespan_s: float
+
+    def summary(self) -> dict:
+        """The JSON-safe fleet report (stable key order; two same-seed
+        runs serialize byte-identically — tests/test_fleet.py)."""
+        results = [d.result for d in self.devices]
+        # One counting definition, shared with `repro report`
+        # (repro.trace.analysis.aggregate).
+        counts = invocation_counts(r for result in results
+                                   for r in result.invocations)
+        total_inv = counts["total"]
+        offloaded = counts["offloaded"]
+        declined = counts["declined"]
+        rejected = counts["rejected"]
+        aborted = counts["aborted"]
+        fallbacks = counts["local_fallbacks"]
+        queue_s = sum(r.queue_seconds for r in results)
+        completions = [d.completion_s for d in self.devices]
+        queued = sum(s.queued_admissions for s in self.pool.stats)
+        opts = self.pool.options
+        return {
+            "devices": len(self.devices),
+            "servers": opts.servers,
+            "capacity": opts.capacity,
+            "queue_limit": opts.queue_limit,
+            "makespan_s": self.makespan_s,
+            "throughput_invocations_per_s": (
+                total_inv / self.makespan_s if self.makespan_s > 0
+                else 0.0),
+            "completion_s": {
+                "p50": _percentile(completions, 0.50),
+                "p95": _percentile(completions, 0.95),
+                "max": max(completions) if completions else 0.0,
+            },
+            "invocations": {
+                "total": total_inv,
+                "offloaded": offloaded,
+                "declined": declined,
+                "rejected": rejected,
+                "aborted": aborted,
+                "local_fallbacks": fallbacks,
+            },
+            "decline_rate": (
+                (total_inv - offloaded) / total_inv if total_inv else 0.0),
+            "queue": {
+                "total_delay_s": queue_s,
+                "mean_delay_s": (
+                    queue_s / queued if queued else 0.0),
+                "queued_admissions": queued,
+            },
+            "servers_detail": [
+                {
+                    "id": s.server_id,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "busy_seconds": s.busy_seconds,
+                    "queue_delay_s": s.queue_delay_total,
+                    "max_queue_depth": s.max_queue_depth,
+                    "utilization": s.utilization(self.makespan_s,
+                                                 opts.capacity),
+                }
+                for s in self.pool.stats
+            ],
+            "energy_mj_total": sum(r.energy_mj for r in results),
+        }
+
+    @property
+    def dropped_events(self) -> int:
+        """Events lost to the devices' trace ring buffers, fleet-wide —
+        the truncation signal ``write_jsonl`` headers and ``repro
+        report`` surface."""
+        return sum(d.result.trace.dropped for d in self.devices
+                   if d.result.trace is not None)
+
+    def merged_events(self) -> List[TraceEvent]:
+        """One fleet-wide trace: every device's events shifted onto the
+        global timeline, ordered by (time, device index, seq).  Events
+        already carry the device's session id (``sid``)."""
+        merged = []
+        for device in self.devices:
+            tracer = device.result.trace
+            if tracer is None:
+                continue
+            for e in tracer.events():
+                merged.append((e.t + device.start_offset_s, device.index,
+                               e.seq, e))
+        merged.sort(key=lambda item: item[:3])
+        return [TraceEvent(t=t, seq=e.seq, category=e.category,
+                           name=e.name, dur=e.dur, payload=e.payload,
+                           sid=e.sid)
+                for t, _, _, e in merged]

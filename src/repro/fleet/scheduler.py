@@ -1,351 +1,189 @@
-"""The fleet scheduler: N device sessions against one server pool.
+"""The fleet scheduler: N device sessions against one server pool,
+driven by a single-threaded discrete-event core.
 
-Scheduling model (docs/fleet.md).  Each device runs a completely
-ordinary :class:`~repro.runtime.session.OffloadSession` whose
-``dispatcher`` option points back here.  The session executes on its own
-thread, but the scheduler keeps the whole fleet in *lockstep*: at most
-one device thread ever runs, and control passes at exactly the points
-where devices interact — admission requests.  The rendezvous makes the
-simulation a deterministic discrete-event system:
+Execution model (docs/simulator.md has the full contract).  The
+scheduler owns one :class:`~repro.fleet.clock.SimClock` and one
+:class:`~repro.fleet.clock.EventQueue`; every device is an explicit
+state machine (:class:`~repro.fleet.events.DeviceState`) that advances
+only when one of its events fires:
 
-1. every device runs until it blocks on ``admit`` or finishes;
-2. the scheduler pops the earliest pending request — ordered by
-   ``(global arrival time, device index)`` through the
-   :class:`~repro.fleet.clock.EventQueue` — serves it against the
-   :class:`~repro.fleet.pool.ServerPool`, and resumes that one device;
-3. the device charges the admission's queueing delay (or the rejection's
-   local fallback) into its own timeline and energy, releases the slot
-   when the invocation completes, and eventually blocks again.
+1. an :data:`~repro.fleet.events.ARRIVAL` event at ``start_offset_s``
+   runs the device to its first admission request (or completion);
+2. an :data:`~repro.fleet.events.ADMISSION_REQUEST` event — popped in
+   ``(global time, device index)`` order, the same tie-break the
+   lockstep engine applied — is served against the
+   :class:`~repro.fleet.pool.ServerPool`, the outcome is appended to
+   the device's script, and the device is advanced by scripted replay
+   (:mod:`repro.fleet.replay`); the admission's slot is released at the
+   exact session-local instant the replay observed, before any other
+   device runs;
+3. a :data:`~repro.fleet.events.COMPLETION` event marks the device
+   finished; it touches no shared state.
 
-Because a device's requests are monotone in time and its release always
-precedes its next request, every ``admit`` observes fully-resolved slot
-times — the pool never guesses (pool.py's hindsight-exactness).
-Global time is session-local time plus the device's start offset, so one
-merged trace covers the fleet (``FleetResult.merged_events``).
+No threads, no wall-clock: wall time per simulated invocation is pure
+interpreter work, shared across behaviorally identical devices by the
+:class:`~repro.fleet.replay.SegmentCache`, so fleets of 10k+ devices
+are routine (benchmarks/test_sim_speed.py).  Because a device's
+requests are monotone in time and its release always precedes its next
+request, every ``admit`` observes fully-resolved slot times — the pool
+never guesses (pool.py's hindsight-exactness).  Global time is session-
+local time plus the device's start offset, so one merged trace covers
+the fleet (``FleetResult.merged_events``).
+
+The retained thread-per-device engine lives in
+:mod:`repro.fleet.lockstep`; the differential test holds the two to
+byte-identical output.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
-from ..runtime.backend import Admission, OffloadDispatcher, Rejection
-from ..runtime.session import OffloadSession, SessionOptions, SessionResult
-from ..trace.analysis.aggregate import (invocation_counts,
-                                        nearest_rank_percentile)
-from ..trace.tracer import TraceEvent
+from ..runtime.backend import Admission
 from .clock import EventQueue, SimClock
+from .events import (ADMISSION_REQUEST, ARRIVAL, COMPLETION, TRANSITIONS,
+                     DeviceState)
+from .lockstep import LockstepFleetScheduler
 from .pool import ServerPool
+from .replay import OutcomeProjection, Segment, SegmentCache
+from .result import DeviceOutcome, FleetResult
+from .spec import DeviceSpec, arrival_offsets  # noqa: F401  (re-export)
 
-#: How long (wall-clock) the scheduler waits for a device thread to
-#: reach its next rendezvous before declaring the lockstep broken.
-RENDEZVOUS_TIMEOUT_S = 300.0
-
-
-@dataclass
-class DeviceSpec:
-    """One device of the fleet."""
-
-    device_id: str
-    program: object                 # compiled OffloadProgram
-    network: object                 # NetworkModel
-    stdin: bytes = b""
-    files: Optional[Dict[str, bytes]] = None
-    start_offset_s: float = 0.0     # global time the device starts
-    options: Optional[SessionOptions] = None
-    priority: bool = False          # may use the pool's reserved queue tail
+#: Engine names accepted by :func:`make_scheduler` and the CLI's
+#: ``--scheduler`` flag.  ``event`` is the default; ``lockstep`` is the
+#: deprecated reference engine.
+SCHEDULER_ENGINES = ("event", "lockstep")
+DEFAULT_ENGINE = "event"
 
 
-def arrival_offsets(pattern: str, devices: int, spacing_s: float,
-                    rng) -> List[float]:
-    """Start offsets for ``devices`` devices.
+class _DeviceProcess:
+    """One device's live state inside the event loop."""
 
-    * ``uniform`` — fixed ``spacing_s`` between consecutive starts;
-    * ``poisson`` — exponential inter-arrivals with mean ``spacing_s``,
-      drawn from ``rng`` (a fan-out child, never a shared global);
-    * ``burst`` — everyone at t=0, the worst case for the pool.
-    """
-    if pattern == "uniform":
-        return [i * spacing_s for i in range(devices)]
-    if pattern == "poisson":
-        offsets, t = [], 0.0
-        for _ in range(devices):
-            offsets.append(t)
-            t += rng.expovariate(1.0 / spacing_s) if spacing_s > 0 else 0.0
-        return offsets
-    if pattern == "burst":
-        return [0.0] * devices
-    raise ValueError(f"unknown arrival pattern {pattern!r}")
+    __slots__ = ("index", "spec", "offset", "state", "script",
+                 "pending_target", "result")
 
-
-class _PooledDispatcher(OffloadDispatcher):
-    """The session-side end of the rendezvous: blocks the device thread
-    until the scheduler has served its admission request."""
-
-    def __init__(self, worker: "_DeviceWorker"):
-        self.worker = worker
-
-    def admit(self, target_name: str, now_s: float):
-        return self.worker.request_admission(target_name, now_s)
-
-    def release(self, admission: Admission, now_s: float) -> None:
-        self.worker.release_slot(admission, now_s)
-
-
-class _DeviceWorker:
-    """One device session on its own thread, lockstepped by events."""
-
-    def __init__(self, index: int, spec: DeviceSpec, pool: ServerPool,
-                 timeout_s: float):
+    def __init__(self, index: int, spec: DeviceSpec):
         self.index = index
         self.spec = spec
-        self.pool = pool
-        self.timeout_s = timeout_s
         self.offset = spec.start_offset_s
-        # quiescent: the device is blocked on admission or finished —
-        # the only states in which the scheduler may act.
-        self.quiescent = threading.Event()
-        self.resume = threading.Event()
-        self.done = threading.Event()
-        self.pending = None         # (target_name, global_arrival_t)
-        self.outcome = None         # Admission | Rejection handed back
-        self.result: Optional[SessionResult] = None
-        self.error: Optional[BaseException] = None
-        self.thread = threading.Thread(
-            target=self._run, name=f"fleet-{spec.device_id}", daemon=True)
+        self.state = DeviceState.IDLE
+        self.script: Tuple[OutcomeProjection, ...] = ()
+        self.pending_target: Optional[str] = None
+        self.result = None
 
-    # -- device thread -------------------------------------------------
-    def _run(self) -> None:
-        try:
-            base = self.spec.options or SessionOptions()
-            options = replace(base,
-                              dispatcher=_PooledDispatcher(self),
-                              session_id=self.spec.device_id)
-            session = OffloadSession(self.spec.program, self.spec.network,
-                                     options=options,
-                                     stdin=self.spec.stdin,
-                                     files=self.spec.files)
-            self.result = session.run()
-        except BaseException as exc:    # surfaced by the scheduler
-            self.error = exc
-        finally:
-            self.done.set()
-            self.quiescent.set()
-
-    def request_admission(self, target_name: str, now_s: float):
-        self.pending = (target_name, self.offset + now_s)
-        self.quiescent.set()
-        if not self.resume.wait(self.timeout_s):
+    def transition(self, to: DeviceState) -> None:
+        if (self.state, to) not in TRANSITIONS:
             raise RuntimeError(
-                f"{self.spec.device_id}: scheduler never served the "
-                f"admission request (lockstep rendezvous broken)")
-        self.resume.clear()
-        outcome, self.outcome = self.outcome, None
-        return outcome
-
-    def release_slot(self, admission: Admission, now_s: float) -> None:
-        # Lockstep means this device thread is the only one running, so
-        # the pool needs no lock here.
-        self.pool.release(admission, self.offset + now_s)
-
-    # -- scheduler side ------------------------------------------------
-    def serve(self, outcome) -> None:
-        self.pending = None
-        self.outcome = outcome
-        self.quiescent.clear()
-        self.resume.set()
-        if not self.quiescent.wait(self.timeout_s):
-            raise RuntimeError(
-                f"{self.spec.device_id}: device thread never reached "
-                f"its next rendezvous")
-
-
-@dataclass
-class DeviceOutcome:
-    """One device's run, placed on the global timeline."""
-
-    device_id: str
-    index: int
-    start_offset_s: float
-    priority: bool
-    result: SessionResult
-
-    @property
-    def completion_s(self) -> float:
-        """Global time the device's whole program finished."""
-        return self.start_offset_s + self.result.total_seconds
-
-
-# The one nearest-rank percentile definition, shared with the report
-# (repro.trace.analysis) so the two can never disagree.
-_percentile = nearest_rank_percentile
-
-
-@dataclass
-class FleetResult:
-    """Everything a fleet run produced."""
-
-    devices: List[DeviceOutcome]
-    pool: ServerPool
-    makespan_s: float
-
-    def summary(self) -> dict:
-        """The JSON-safe fleet report (stable key order; two same-seed
-        runs serialize byte-identically — tests/test_fleet.py)."""
-        results = [d.result for d in self.devices]
-        # One counting definition, shared with `repro report`
-        # (repro.trace.analysis.aggregate).
-        counts = invocation_counts(r for result in results
-                                   for r in result.invocations)
-        total_inv = counts["total"]
-        offloaded = counts["offloaded"]
-        declined = counts["declined"]
-        rejected = counts["rejected"]
-        aborted = counts["aborted"]
-        fallbacks = counts["local_fallbacks"]
-        queue_s = sum(r.queue_seconds for r in results)
-        completions = [d.completion_s for d in self.devices]
-        queued = sum(s.queued_admissions for s in self.pool.stats)
-        opts = self.pool.options
-        return {
-            "devices": len(self.devices),
-            "servers": opts.servers,
-            "capacity": opts.capacity,
-            "queue_limit": opts.queue_limit,
-            "makespan_s": self.makespan_s,
-            "throughput_invocations_per_s": (
-                total_inv / self.makespan_s if self.makespan_s > 0
-                else 0.0),
-            "completion_s": {
-                "p50": _percentile(completions, 0.50),
-                "p95": _percentile(completions, 0.95),
-                "max": max(completions) if completions else 0.0,
-            },
-            "invocations": {
-                "total": total_inv,
-                "offloaded": offloaded,
-                "declined": declined,
-                "rejected": rejected,
-                "aborted": aborted,
-                "local_fallbacks": fallbacks,
-            },
-            "decline_rate": (
-                (total_inv - offloaded) / total_inv if total_inv else 0.0),
-            "queue": {
-                "total_delay_s": queue_s,
-                "mean_delay_s": (
-                    queue_s / queued if queued else 0.0),
-                "queued_admissions": queued,
-            },
-            "servers_detail": [
-                {
-                    "id": s.server_id,
-                    "admitted": s.admitted,
-                    "rejected": s.rejected,
-                    "busy_seconds": s.busy_seconds,
-                    "queue_delay_s": s.queue_delay_total,
-                    "max_queue_depth": s.max_queue_depth,
-                    "utilization": s.utilization(self.makespan_s,
-                                                 opts.capacity),
-                }
-                for s in self.pool.stats
-            ],
-            "energy_mj_total": sum(r.energy_mj for r in results),
-        }
-
-    @property
-    def dropped_events(self) -> int:
-        """Events lost to the devices' trace ring buffers, fleet-wide —
-        the truncation signal ``write_jsonl`` headers and ``repro
-        report`` surface."""
-        return sum(d.result.trace.dropped for d in self.devices
-                   if d.result.trace is not None)
-
-    def merged_events(self) -> List[TraceEvent]:
-        """One fleet-wide trace: every device's events shifted onto the
-        global timeline, ordered by (time, device index, seq).  Events
-        already carry the device's session id (``sid``)."""
-        merged = []
-        for device in self.devices:
-            tracer = device.result.trace
-            if tracer is None:
-                continue
-            for e in tracer.events():
-                merged.append((e.t + device.start_offset_s, device.index,
-                               e.seq, e))
-        merged.sort(key=lambda item: item[:3])
-        return [TraceEvent(t=t, seq=e.seq, category=e.category,
-                           name=e.name, dur=e.dur, payload=e.payload,
-                           sid=e.sid)
-                for t, _, _, e in merged]
+                f"{self.spec.device_id}: illegal device state "
+                f"transition {self.state.value} -> {to.value}")
+        self.state = to
 
 
 class FleetScheduler:
-    """Run a fleet of device sessions against one server pool."""
+    """Run a fleet of device sessions against one server pool.
 
-    def __init__(self, devices: List[DeviceSpec], pool: ServerPool,
-                 rendezvous_timeout_s: float = RENDEZVOUS_TIMEOUT_S):
-        if not devices:
-            raise ValueError("a fleet needs at least one device")
+    The event-driven engine: single-threaded, deterministic, and
+    byte-identical to the retained lockstep engine for the same seed
+    (tests/test_fleet_differential.py).  An empty device list is a
+    legal degenerate fleet — zero events, an empty result.
+
+    ``replay`` exposes the :class:`~repro.fleet.replay.SegmentCache`
+    whose ``stats()`` report how many sessions actually ran — the
+    simulator-speed benchmark gates on it.
+    """
+
+    def __init__(self, devices: List[DeviceSpec], pool: ServerPool):
         self.pool = pool
         self.clock = SimClock()
-        self._workers = [_DeviceWorker(i, spec, pool,
-                                       rendezvous_timeout_s)
-                         for i, spec in enumerate(devices)]
+        self.replay = SegmentCache()
+        self._procs = [_DeviceProcess(i, spec)
+                       for i, spec in enumerate(devices)]
 
     def run(self) -> FleetResult:
-        workers = self._workers
-        # Sequential start: each device runs to its first rendezvous
-        # alone, so even session construction is fully serialized.
-        for w in workers:
-            w.thread.start()
-            if not w.quiescent.wait(w.timeout_s):
-                raise RuntimeError(
-                    f"{w.spec.device_id}: device never reached its "
-                    f"first rendezvous")
-            self._check(w)
-
+        """Drain the event queue and assemble the fleet result."""
+        procs = self._procs
         queue = EventQueue()
-        enqueued = set()
-        while True:
-            for w in workers:
-                self._check(w)
-                if (w.pending is not None and not w.done.is_set()
-                        and w.index not in enqueued):
-                    queue.push(w.pending[1], w.index)
-                    enqueued.add(w.index)
-            if not queue:
-                break
-            arrival_t, index, _ = queue.pop()
-            enqueued.discard(index)
-            worker = workers[index]
-            target_name, pending_t = worker.pending
-            self.clock.advance_to(arrival_t)
-            outcome = self.pool.admit(target_name, pending_t,
-                                      priority=worker.spec.priority)
-            worker.serve(outcome)
+        for p in procs:
+            queue.push(p.offset, p.index, ARRIVAL)
 
-        for w in workers:
-            w.thread.join(w.timeout_s)
-            self._check(w)
-            if w.result is None:
+        while queue:
+            t, index, kind = queue.pop()
+            self.clock.advance_to(t)
+            p = procs[index]
+            if kind == ARRIVAL:
+                p.transition(DeviceState.ARRIVED)
+                self._advance(p, queue)
+            elif kind == ADMISSION_REQUEST:
+                self._serve(p, t, queue)
+            elif kind == COMPLETION:
+                p.transition(DeviceState.COMPLETE)
+            else:  # pragma: no cover - queue only ever holds the above
+                raise RuntimeError(f"unknown event kind {kind!r}")
+
+        outcomes = []
+        for p in procs:
+            if p.result is None or p.state is not DeviceState.COMPLETE:
                 raise RuntimeError(
-                    f"{w.spec.device_id}: device finished without a "
-                    f"session result")
-
-        outcomes = [DeviceOutcome(device_id=w.spec.device_id,
-                                  index=w.index,
-                                  start_offset_s=w.offset,
-                                  priority=w.spec.priority,
-                                  result=w.result)
-                    for w in workers]
-        makespan = max(o.completion_s for o in outcomes)
+                    f"{p.spec.device_id}: event queue drained but the "
+                    f"device is {p.state.value}")
+            outcomes.append(DeviceOutcome(device_id=p.spec.device_id,
+                                          index=p.index,
+                                          start_offset_s=p.offset,
+                                          priority=p.spec.priority,
+                                          result=p.result))
+        makespan = (max(o.completion_s for o in outcomes)
+                    if outcomes else 0.0)
         return FleetResult(devices=outcomes, pool=self.pool,
                            makespan_s=makespan)
 
-    def _check(self, worker: _DeviceWorker) -> None:
-        if worker.error is not None:
-            raise RuntimeError(
-                f"device {worker.spec.device_id} failed"
-            ) from worker.error
+    # -- event handlers ------------------------------------------------
+    def _serve(self, p: _DeviceProcess, t: float,
+               queue: EventQueue) -> None:
+        """Serve one admission request: the only point where a device
+        touches shared state, in exactly the lockstep order —
+        admit(k), then release(k) before anyone else's admit."""
+        outcome = self.pool.admit(p.pending_target, t,
+                                  priority=p.spec.priority)
+        p.pending_target = None
+        p.script = p.script + (OutcomeProjection.of(outcome),)
+        segment = self._advance(p, queue)
+        if isinstance(outcome, Admission):
+            # The replay observed the session-local instant the slot
+            # was handed back; apply it to the real pool now, so the
+            # next admit (any device) sees fully-resolved slot times.
+            self.pool.release(outcome,
+                              p.offset + segment.release_local_t)
+
+    def _advance(self, p: _DeviceProcess, queue: EventQueue) -> Segment:
+        """Advance the device to its next admission request or to
+        completion, and schedule the matching event."""
+        segment = self.replay.advance(p.spec, p.script)
+        if segment.done:
+            p.transition(DeviceState.EXECUTING)
+            p.result = segment.result
+            queue.push(p.offset + segment.result.total_seconds,
+                       p.index, COMPLETION)
+        else:
+            p.transition(DeviceState.EXECUTING)
+            p.transition(DeviceState.REQUESTING)
+            p.pending_target = segment.target
+            queue.push(p.offset + segment.local_t, p.index,
+                       ADMISSION_REQUEST)
+        return segment
+
+
+def make_scheduler(devices: List[DeviceSpec], pool: ServerPool,
+                   engine: str = DEFAULT_ENGINE):
+    """Build a fleet scheduler by engine name.
+
+    ``event`` (the default) is the single-threaded discrete-event core;
+    ``lockstep`` is the deprecated one-thread-per-device reference
+    engine, byte-identical but unusable beyond tens of devices.
+    """
+    if engine == "event":
+        return FleetScheduler(devices, pool)
+    if engine == "lockstep":
+        return LockstepFleetScheduler(devices, pool)
+    raise ValueError(
+        f"unknown scheduler engine {engine!r}; "
+        f"expected one of {SCHEDULER_ENGINES}")

@@ -1,0 +1,62 @@
+"""Device specifications and arrival processes for fleet runs.
+
+A fleet is just a list of :class:`DeviceSpec`s — each one the complete
+recipe for a single-device :class:`~repro.runtime.session.OffloadSession`
+plus its placement on the global timeline (``start_offset_s``) and its
+standing with the pool (``priority``).  The scheduler never peeks inside
+the session; everything it needs to know about a device is here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..runtime.session import SessionOptions
+
+
+@dataclass
+class DeviceSpec:
+    """One device of the fleet.
+
+    The spec fully determines the device's behavior: ``program``,
+    ``network``, ``stdin``, ``files`` and ``options`` fix the session's
+    deterministic execution, ``start_offset_s`` maps its session-local
+    clock onto global fleet time, and ``priority`` lets the pool's
+    reserved queue tail (docs/fleet.md, "Admission control") accept it
+    when ordinary devices would be refused.  The event-driven scheduler
+    relies on this: two devices whose specs agree on everything but
+    ``device_id`` and ``start_offset_s`` are behaviorally identical and
+    can share replayed execution segments (docs/simulator.md).
+    """
+
+    device_id: str
+    program: object                 # compiled OffloadProgram
+    network: object                 # NetworkModel
+    stdin: bytes = b""
+    files: Optional[Dict[str, bytes]] = None
+    start_offset_s: float = 0.0     # global time the device starts
+    options: Optional[SessionOptions] = None
+    priority: bool = False          # may use the pool's reserved queue tail
+
+
+def arrival_offsets(pattern: str, devices: int, spacing_s: float,
+                    rng) -> List[float]:
+    """Start offsets for ``devices`` devices.
+
+    * ``uniform`` — fixed ``spacing_s`` between consecutive starts;
+    * ``poisson`` — exponential inter-arrivals with mean ``spacing_s``,
+      drawn from ``rng`` (a fan-out child, never a shared global);
+    * ``burst`` — everyone at t=0, the worst case for the pool.
+    """
+    if pattern == "uniform":
+        return [i * spacing_s for i in range(devices)]
+    if pattern == "poisson":
+        offsets, t = [], 0.0
+        for _ in range(devices):
+            offsets.append(t)
+            t += rng.expovariate(1.0 / spacing_s) if spacing_s > 0 else 0.0
+        return offsets
+    if pattern == "burst":
+        return [0.0] * devices
+    raise ValueError(f"unknown arrival pattern {pattern!r}")

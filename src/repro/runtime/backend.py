@@ -21,11 +21,17 @@ server.  This module extracts that machinery behind a small protocol:
 The remote backend additionally consults an :class:`OffloadDispatcher`
 before starting an invocation.  The default (``dispatcher=None`` — the
 paper's one-device/one-server world) performs no admission work at all;
-a :class:`repro.fleet.scheduler.FleetScheduler` instead wires each device
-session to a shared :class:`repro.fleet.pool.ServerPool`, so admission
-can carry a queueing delay (charged to the device timeline and battery
-exactly as link time is) or be refused outright, in which case the
-invocation degrades to :class:`LocalBackend` (docs/fleet.md).
+a fleet run substitutes a dispatcher wired to a shared
+:class:`repro.fleet.pool.ServerPool`, so admission can carry a queueing
+delay (charged to the device timeline and battery exactly as link time
+is) or be refused outright, in which case the invocation degrades to
+:class:`LocalBackend` (docs/fleet.md).  The event-driven
+:class:`repro.fleet.scheduler.FleetScheduler` supplies a
+:class:`repro.fleet.replay.ScriptedDispatcher` that replays recorded
+pool outcomes into the session; sessions only ever read the
+``server_id``/``queue_seconds`` of an :class:`Admission` and the
+``estimated_wait_s`` of a :class:`Rejection`, which is what makes that
+replay exact (docs/simulator.md, "Replay, not resumption").
 """
 
 from __future__ import annotations
@@ -80,7 +86,15 @@ class InvocationRecord:
 
 @dataclass(frozen=True)
 class Admission:
-    """A granted server slot for one offload invocation."""
+    """A granted server slot for one offload invocation.
+
+    Sessions read only ``server_id`` and ``queue_seconds``;
+    ``start_s``/``token`` are pool bookkeeping.  The event-driven fleet
+    scheduler's replay correctness depends on that split
+    (:class:`repro.fleet.replay.OutcomeProjection`) — a backend change
+    that makes sessions consume more of this object must extend the
+    projection too.
+    """
 
     server_id: int = 0
     queue_seconds: float = 0.0    # time the device waits before service

@@ -1,0 +1,51 @@
+"""Tier-1 wrapper around tools/check_doc_links.py: every intra-repo
+markdown link must resolve, so stale doc cross-references fail the
+normal test run, not just the CI docs step."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_doc_links.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_doc_links", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_intra_repo_markdown_links_resolve(capsys):
+    tool = _load_tool()
+    problems = []
+    for path in tool.iter_markdown(REPO_ROOT):
+        problems.extend(tool.check_file(path, REPO_ROOT))
+    assert not problems, "broken markdown links:\n" + "\n".join(problems)
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    tool = _load_tool()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "real.md").write_text("# here\n")
+    (tmp_path / "a.md").write_text(
+        "ok [good](docs/real.md) and [bad](docs/missing.md)\n"
+        "external [x](https://example.com/missing) is ignored\n"
+        "anchor-only [y](#section) is ignored\n"
+        "```\n[inside a fence](docs/missing-too.md)\n"
+        "```cpp\n"  # nested opener is fence *content*, not a closer
+        "[still inside](docs/also-missing.md)\n```\n")
+    problems = tool.check_file(tmp_path / "a.md", tmp_path)
+    assert len(problems) == 1
+    assert "docs/missing.md" in problems[0]
+
+
+def test_checker_cli_exit_codes(tmp_path):
+    tool = _load_tool()
+    (tmp_path / "clean.md").write_text("no links here\n")
+    assert tool.main(["check_doc_links", str(tmp_path)]) == 0
+    (tmp_path / "dirty.md").write_text("[gone](nope.md)\n")
+    assert tool.main(["check_doc_links", str(tmp_path)]) == 1

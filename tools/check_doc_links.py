@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories)
+for inline links and images — ``[text](target)`` — and verifies that
+each relative target resolves to a file that exists, from the linking
+file's own directory.  External links (``http://``, ``https://``,
+``mailto:``), pure in-page anchors (``#section``) and absolute URLs are
+out of scope; a relative target's ``#fragment`` suffix is stripped
+before the existence check (section anchors are not verified, only the
+file half of the link).
+
+Exit status 0 when every link resolves, 1 otherwise (one diagnostic
+line per broken link: ``file:line: broken link -> target``).  CI runs
+this next to the test suite; ``tests/test_docs_links.py`` wraps it so
+a broken link also fails the tier-1 run locally.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link or image: ``[text](target)`` / ``![alt](target)``.
+#: The target group stops at whitespace or ')' so titles
+#: (``[t](file "title")``) keep only the path half.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Broken-link diagnostics for one markdown file."""
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if in_fence:
+                # Per CommonMark a *closing* fence carries no info
+                # string — a ```lang line inside a fence is content
+                # (SNIPPETS.md nests fenced markdown inside a fence).
+                if stripped.strip("`") == "":
+                    in_fence = False
+            else:
+                in_fence = True
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            if "://" in target:
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"broken link -> {target}")
+    return problems
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent)
+    problems = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        problems.extend(check_file(path, root))
+    for line in problems:
+        print(line, file=sys.stderr)
+    print(f"check_doc_links: {checked} files, "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
