@@ -25,8 +25,10 @@ from .eval import (evaluate_suite, figure6a_execution_time,
                    figure8_power_traces, render_figure6, render_figure7,
                    render_figure8, render_table1, render_table2,
                    render_table3, render_table4, render_table5)
-from .fleet import (DEFAULT_ENGINE, SCHEDULER_ENGINES, DeviceSpec,
-                    PoolOptions, SeedFanout, ServerPool, arrival_offsets,
+from .fleet import (DECISION_ENGINES, DEFAULT_DECISION_ENGINE,
+                    DEFAULT_ENGINE, SCHEDULER_ENGINES, Autoscaler,
+                    AutoscalerOptions, DeviceSpec, PoolOptions, SeedFanout,
+                    ServerPool, ServerSpec, arrival_offsets,
                     make_scheduler)
 from .frontend import compile_c
 from .offload import CompilerOptions, NativeOffloaderCompiler
@@ -282,6 +284,43 @@ def _fleet_program(name: str):
     return module, spec.eval_stdin, spec.eval_files, program
 
 
+def _pool_options(args) -> PoolOptions:
+    """The PoolOptions the CLI flags describe.  Without --cloud-servers
+    this is the historical homogeneous form (byte-identical pools);
+    with it, the pool is a two-tier edge/cloud topology where cloud
+    servers are faster but sit behind the cloud-wan link."""
+    cloud = getattr(args, "cloud_servers", 0) or 0
+    if cloud <= 0:
+        return PoolOptions(servers=args.servers, capacity=args.capacity,
+                           queue_limit=args.queue_limit)
+    edge = tuple(ServerSpec(capacity=args.capacity,
+                            queue_limit=args.queue_limit)
+                 for _ in range(args.servers))
+    far = tuple(ServerSpec(speed=args.cloud_speed, capacity=args.capacity,
+                           queue_limit=args.queue_limit, tier="cloud",
+                           network=NETWORKS["cloud-wan"])
+                for _ in range(cloud))
+    return PoolOptions(servers=args.servers, capacity=args.capacity,
+                       queue_limit=args.queue_limit, specs=edge + far)
+
+
+def _autoscaler(args, engine: str):
+    """The Autoscaler the CLI flags ask for (None without --autoscale).
+    Scale-up clones the homogeneous edge spec; only the event engine
+    runs the control-plane ticks."""
+    if not getattr(args, "autoscale", False):
+        return None
+    if engine != "event":
+        print("--autoscale requires the event scheduler engine",
+              file=sys.stderr)
+        raise SystemExit(2)
+    template = ServerSpec(capacity=args.capacity,
+                          queue_limit=args.queue_limit)
+    return Autoscaler(AutoscalerOptions(
+        interval_s=args.autoscale_interval, template=template,
+        max_servers=args.autoscale_max))
+
+
 def _run_fleet(args, network, enable_tracing: bool):
     """Build and run the fleet the CLI flags describe — shared by
     ``fleet`` and ``report`` so the two subcommands simulate the exact
@@ -304,12 +343,16 @@ def _run_fleet(args, network, enable_tracing: bool):
         devices.append(DeviceSpec(device_id=device_id, program=program,
                                   network=network, stdin=stdin,
                                   files=files, start_offset_s=offsets[i],
-                                  options=options))
-    pool = ServerPool(PoolOptions(servers=args.servers,
-                                  capacity=args.capacity,
-                                  queue_limit=args.queue_limit))
+                                  options=options,
+                                  deadline_s=getattr(args, "deadline",
+                                                     None)))
+    pool = ServerPool(_pool_options(args),
+                      engine=getattr(args, "engine",
+                                     DEFAULT_DECISION_ENGINE))
     engine = getattr(args, "scheduler", DEFAULT_ENGINE)
-    result = make_scheduler(devices, pool, engine=engine).run()
+    autoscaler = _autoscaler(args, engine)
+    result = make_scheduler(devices, pool, engine=engine,
+                            autoscaler=autoscaler).run()
     return result, base_plan, module, stdin, files
 
 
@@ -328,11 +371,17 @@ def cmd_fleet(args) -> int:
                      for d in result.devices)
     inv = summary["invocations"]
     queue = summary["queue"]
+    cloud = getattr(args, "cloud_servers", 0) or 0
+    tiers = (f"{args.servers} edge + {cloud} cloud server(s)"
+             if cloud else f"{args.servers} server(s)")
     print(f"fleet: {args.devices} devices over {network.name}, "
-          f"{args.servers} server(s) x {args.capacity} slot(s), "
+          f"{tiers} x {args.capacity} slot(s), "
           f"queue limit {args.queue_limit}, "
+          f"engine {summary['engine']}, "
           f"{args.arrival} arrivals, seed {args.seed}"
-          + (" (faulty links)" if base_plan is not None else ""))
+          + (" (faulty links)" if base_plan is not None else "")
+          + (" (autoscaled)" if getattr(args, "autoscale", False)
+             else ""))
     print(f"  makespan  : {summary['makespan_s'] * 1e3:9.2f} ms   "
           f"throughput "
           f"{summary['throughput_invocations_per_s']:.1f} invocations/s")
@@ -347,12 +396,19 @@ def cmd_fleet(args) -> int:
           f"{queue['queued_admissions']} queued admissions "
           f"(mean {queue['mean_delay_s'] * 1e3:.2f} ms)")
     for server in summary["servers_detail"]:
-        print(f"  server {server['id']}  : utilization "
+        retired = "" if server["active"] else " (retired)"
+        print(f"  server {server['id']}  : {server['tier']} "
+              f"x{server['speed']:g}{retired}, utilization "
               f"{server['utilization'] * 100:5.1f}%, "
               f"{server['admitted']} admitted, "
               f"{server['rejected']} rejected, "
               f"queue delay {server['queue_delay_s'] * 1e3:.2f} ms, "
               f"max depth {server['max_queue_depth']}")
+    scaling = summary.get("autoscale") or {}
+    if scaling:
+        print(f"  autoscale : {scaling['scale_ups']} scale-up(s), "
+              f"{scaling['scale_downs']} scale-down(s), "
+              f"{len(scaling['findings'])} SLO finding(s)")
     print(f"  energy    : {summary['energy_mj_total']:.1f} mJ across the "
           f"fleet, output "
           f"{'identical' if outputs_ok else 'DIFFERENT'} on all devices")
@@ -378,6 +434,9 @@ def _fleet_source(args, faulty: bool) -> dict:
         "servers": args.servers, "capacity": args.capacity,
         "queue_limit": args.queue_limit, "arrival": args.arrival,
         "spacing_s": args.spacing, "seed": args.seed, "faulty": faulty,
+        "engine": args.engine, "cloud_servers": args.cloud_servers,
+        "cloud_speed": args.cloud_speed, "deadline_s": args.deadline,
+        "autoscale": args.autoscale,
     }
 
 
@@ -436,7 +495,8 @@ def cmd_report(args) -> int:
         report = build_report(
             result.merged_events(),
             source=_fleet_source(args, base_plan is not None),
-            dropped=result.dropped_events)
+            dropped=result.dropped_events,
+            servers=result.pool.servers_detail(result.makespan_s))
 
     for warning in report["warnings"]:
         print(f"warning: {warning}", file=sys.stderr)
@@ -518,6 +578,38 @@ def _add_fault_args(p) -> None:
                    "probability (0..1)")
 
 
+def _add_placement_args(p) -> None:
+    """Placement-layer knobs shared by the fleet/report subcommands
+    (docs/placement.md).  All defaults reproduce the historical
+    homogeneous fifo pool byte for byte."""
+    p.add_argument("--engine", default=DEFAULT_DECISION_ENGINE,
+                   choices=list(DECISION_ENGINES),
+                   help="placement decision engine (default "
+                        f"{DEFAULT_DECISION_ENGINE!r}; see "
+                        "docs/placement.md for the ranking each one "
+                        "applies)")
+    p.add_argument("--cloud-servers", type=int, default=0, metavar="N",
+                   help="add N cloud-tier servers behind the cloud-wan "
+                        "link (default 0: edge-only pool)")
+    p.add_argument("--cloud-speed", type=float, default=2.0,
+                   metavar="X", help="cloud server speed multiplier "
+                   "(default 2.0: twice the edge reference server)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-invocation relative deadline every device "
+                        "attaches to its requests (drives the "
+                        "deadline-aware engine)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="let an SLO-driven autoscaler resize the pool "
+                        "mid-run (event engine only)")
+    p.add_argument("--autoscale-interval", type=float, default=0.005,
+                   metavar="SECONDS",
+                   help="autoscaler evaluation tick (default 5 ms)")
+    p.add_argument("--autoscale-max", type=int, default=8, metavar="N",
+                   help="pool size the autoscaler may grow to "
+                        "(default 8)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -593,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the fleet summary as JSON")
     p.add_argument("--jsonl", metavar="PATH",
                    help="write the merged fleet trace as JSON Lines")
+    _add_placement_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_fleet)
 
@@ -642,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet execution engine for live runs "
                         f"(default {DEFAULT_ENGINE!r}; 'lockstep' is "
                         "deprecated)")
+    _add_placement_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_report)
 

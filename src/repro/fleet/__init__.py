@@ -11,13 +11,24 @@ their interactions (docs/fleet.md, docs/simulator.md).  The deprecated
 one-thread-per-device engine is retained as
 :class:`LockstepFleetScheduler` — the reference the differential test
 checks the event core against.
+
+Placement is a swappable layer (docs/placement.md): the pool ranks
+eligible servers through a :class:`~repro.fleet.engines.DecisionEngine`
+(``fifo`` / ``worst-fit`` / ``best-fit`` / ``deadline-aware``), servers
+are heterogeneous :class:`ServerSpec` records spanning an edge/cloud
+tier hierarchy, and an optional :class:`Autoscaler` resizes the pool
+mid-simulation off the same sliding-window SLO rules the report uses.
 """
 
+from .autoscaler import (DEFAULT_AUTOSCALE_RULES, Autoscaler,
+                         AutoscalerOptions)
 from .clock import EventQueue, SimClock
-from .events import (ADMISSION_REQUEST, ARRIVAL, COMPLETION, EVENT_KINDS,
-                     DeviceState)
+from .engines import (DECISION_ENGINES, DEFAULT_DECISION_ENGINE, Candidate,
+                      DecisionEngine, PlacementRequest, make_engine)
+from .events import (ADMISSION_REQUEST, ARRIVAL, AUTOSCALE, COMPLETION,
+                     EVENT_KINDS, DeviceState)
 from .lockstep import LockstepFleetScheduler
-from .pool import PoolOptions, ServerPool, ServerStats
+from .pool import TIERS, PoolOptions, ServerPool, ServerSpec, ServerStats
 from .replay import (OutcomeProjection, ScriptedDispatcher, Segment,
                      SegmentBoundary, SegmentCache, behavior_key)
 from .result import DeviceOutcome, FleetResult
@@ -28,9 +39,12 @@ from .spec import DeviceSpec, arrival_offsets
 
 __all__ = [
     "EventQueue", "SimClock",
-    "ARRIVAL", "ADMISSION_REQUEST", "COMPLETION", "EVENT_KINDS",
-    "DeviceState",
-    "PoolOptions", "ServerPool", "ServerStats",
+    "ARRIVAL", "ADMISSION_REQUEST", "COMPLETION", "AUTOSCALE",
+    "EVENT_KINDS", "DeviceState",
+    "PoolOptions", "ServerPool", "ServerSpec", "ServerStats", "TIERS",
+    "Candidate", "DecisionEngine", "PlacementRequest",
+    "DECISION_ENGINES", "DEFAULT_DECISION_ENGINE", "make_engine",
+    "Autoscaler", "AutoscalerOptions", "DEFAULT_AUTOSCALE_RULES",
     "OutcomeProjection", "ScriptedDispatcher", "Segment",
     "SegmentBoundary", "SegmentCache", "behavior_key",
     "DeviceOutcome", "DeviceSpec", "FleetResult",

@@ -7,7 +7,7 @@ through an explicit lifecycle::
                           ^                |
                           +----------------+   (one cycle per admission)
 
-Exactly three event kinds exist, and each is the *only* way a device in
+Three event kinds drive devices, and each is the *only* way a device in
 the matching state makes progress:
 
 * :data:`ARRIVAL` — fires at the device's ``start_offset_s``; the
@@ -21,6 +21,14 @@ the matching state makes progress:
   observational (no shared state is touched), so ties between a
   completion and any other event are outcome-neutral by construction.
 
+A fourth kind belongs to the control plane, not to any device:
+
+* :data:`AUTOSCALE` — a periodic tick at which the
+  :class:`~repro.fleet.autoscaler.Autoscaler` evaluates its sliding
+  SLO windows and may grow or shrink the pool (docs/placement.md).
+  Ticks carry an index above every device's, so at equal times all
+  device events are served before the pool is resized.
+
 Simultaneous events order by ``(time, device index)`` through the
 :class:`~repro.fleet.clock.EventQueue` — the same tie-break the lockstep
 scheduler applied to admission requests, which is what makes the two
@@ -31,12 +39,14 @@ from __future__ import annotations
 
 import enum
 
-#: Event kinds, in the order a device experiences them.
+#: Event kinds, in the order a device experiences them; AUTOSCALE is
+#: the control-plane tick (no device state attached).
 ARRIVAL = "arrival"
 ADMISSION_REQUEST = "admission_request"
 COMPLETION = "completion"
+AUTOSCALE = "autoscale"
 
-EVENT_KINDS = (ARRIVAL, ADMISSION_REQUEST, COMPLETION)
+EVENT_KINDS = (ARRIVAL, ADMISSION_REQUEST, COMPLETION, AUTOSCALE)
 
 
 class DeviceState(enum.Enum):

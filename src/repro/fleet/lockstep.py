@@ -180,7 +180,8 @@ class LockstepFleetScheduler:
             target_name, pending_t = worker.pending
             self.clock.advance_to(arrival_t)
             outcome = self.pool.admit(target_name, pending_t,
-                                      priority=worker.spec.priority)
+                                      priority=worker.spec.priority,
+                                      deadline_s=worker.spec.deadline_s)
             worker.serve(outcome)
 
         for w in workers:

@@ -1,15 +1,19 @@
-"""The contended server pool: capacity slots and bounded queues.
+"""The contended server pool: heterogeneous tiers, slots, bounded queues.
 
-Replaces the paper's dedicated offload server with N servers of
-``capacity`` execution slots each.  Admission is hindsight-exact because
-the fleet scheduler serves requests in global-arrival order *after* the
-previous occupant's release has been recorded (the event-driven core
-applies each admission's replayed release before serving the next
-request — docs/simulator.md), so each slot's ``busy_until`` is an
-actual completion time, never a guess:
+Replaces the paper's dedicated offload server with N servers described
+by per-server :class:`ServerSpec` records (speed multiplier, capacity,
+queue depth, tier, network profile).  Admission is hindsight-exact
+because the fleet scheduler serves requests in global-arrival order
+*after* the previous occupant's release has been recorded (the
+event-driven core applies each admission's replayed release before
+serving the next request — docs/simulator.md), so each slot's
+``busy_until`` is an actual completion time, never a guess:
 
-* ``admit`` routes a request to the (wait, server-id)-least pair among
-  servers whose queue still has room, returning an
+* ``admit`` snapshots every eligible server into a
+  :class:`~repro.fleet.engines.Candidate` and lets the pool's
+  :class:`~repro.fleet.engines.DecisionEngine` pick the placement
+  (``fifo`` — the default — reproduces the historical
+  (wait, server-id)-least routing byte for byte), returning an
   :class:`~repro.runtime.backend.Admission` whose ``queue_seconds`` the
   device charges to its timeline and battery exactly like link time;
 * a request finding every eligible queue full gets a
@@ -18,41 +22,108 @@ actual completion time, never a guess:
   feeds the estimator's contention term (docs/fleet.md);
 * ``priority`` requests may use the ``priority_reserve`` tail of each
   queue that ordinary requests must leave free.
+
+Tiers (docs/placement.md): an ``edge`` server is cheap-near — the
+device keeps its own base :class:`~repro.runtime.network.NetworkModel`;
+a ``cloud`` server is fast-far — its spec usually carries a higher
+``speed`` and a WAN ``network`` override that the comm layer uses for
+every byte of that invocation.  The :class:`~repro.fleet.autoscaler.
+Autoscaler` may grow or shrink the pool mid-run via ``add_server`` /
+``remove_server``; retired servers keep their stats for reporting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..runtime.backend import Admission, Rejection
+from ..runtime.network import NetworkModel
+from .engines import (Candidate, DecisionEngine, PlacementRequest,
+                      make_engine)
+
+#: Valid ``ServerSpec.tier`` names: ``edge`` is cheap-near (device keeps
+#: its own link), ``cloud`` is fast-far (spec carries a WAN override).
+TIERS = ("edge", "cloud")
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server's shape: how fast, how wide, how far away.
+
+    ``speed`` divides server-side compute time (2.0 = twice the
+    reference server of the paper's Table 1).  ``network`` is the
+    :class:`~repro.runtime.network.NetworkModel` an admitted device
+    talks through for that invocation; None keeps the device's own
+    link, which is what an edge-tier server means.
+    """
+
+    speed: float = 1.0
+    capacity: int = 1              # concurrent invocations
+    # Max invocations *waiting* (service not yet started); None =
+    # unbounded.  0 is rejected at construction: use capacity to size
+    # concurrency, not a queue nobody may join.
+    queue_limit: Optional[int] = None
+    tier: str = "edge"
+    network: Optional[NetworkModel] = None
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0.0:
+            raise ValueError("server speed must be > 0")
+        if self.capacity <= 0:
+            raise ValueError("servers need at least one slot")
+        if self.queue_limit is not None and self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive (or None)")
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; expected one of {TIERS}")
 
 
 @dataclass(frozen=True)
 class PoolOptions:
-    """Shape of the server pool."""
+    """Shape of the server pool.
+
+    Two ways to describe it: the homogeneous knobs (``servers`` ×
+    ``capacity`` identical edge servers, the historical form), or an
+    explicit ``specs`` tuple of :class:`ServerSpec` for heterogeneous
+    or tiered pools.  When ``specs`` is given it wins and the
+    homogeneous knobs are ignored.
+    """
 
     servers: int = 1
     capacity: int = 1              # concurrent invocations per server
     # Max invocations *waiting* (service not yet started) per server;
-    # None = unbounded, 0 = admit only into an idle slot.
+    # None = unbounded.
     queue_limit: Optional[int] = None
     # Queue positions only priority requests may take.  Must leave at
     # least one ordinary position unless the queue is entirely reserved.
     priority_reserve: int = 0
+    specs: Optional[Tuple[ServerSpec, ...]] = None
 
     def __post_init__(self) -> None:
-        if self.servers <= 0:
+        if self.specs is not None:
+            object.__setattr__(self, "specs", tuple(self.specs))
+            if not self.specs:
+                raise ValueError("specs must name at least one server")
+        elif self.servers <= 0:
             raise ValueError("pool needs at least one server")
         if self.capacity <= 0:
             raise ValueError("servers need at least one slot")
-        if self.queue_limit is not None and self.queue_limit < 0:
-            raise ValueError("queue_limit must be >= 0")
+        if self.queue_limit is not None and self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive (or None)")
         if self.priority_reserve < 0:
             raise ValueError("priority_reserve must be >= 0")
-        if (self.queue_limit is not None
-                and self.priority_reserve > self.queue_limit):
-            raise ValueError("priority_reserve exceeds queue_limit")
+        for limit in (spec.queue_limit for spec in self.server_specs()):
+            if limit is not None and self.priority_reserve > limit:
+                raise ValueError("priority_reserve exceeds queue_limit")
+
+    def server_specs(self) -> Tuple[ServerSpec, ...]:
+        """The per-server specs, expanding the homogeneous knobs."""
+        if self.specs is not None:
+            return self.specs
+        return tuple(ServerSpec(capacity=self.capacity,
+                                queue_limit=self.queue_limit)
+                     for _ in range(self.servers))
 
 
 @dataclass
@@ -65,7 +136,7 @@ class ServerStats:
     busy_seconds: float = 0.0       # slot-seconds actually in service
     queue_delay_total: float = 0.0  # sum of admitted waits
     queued_admissions: int = 0      # admissions that had to wait
-    max_queue_depth: int = 0
+    max_queue_depth: int = 0        # peak waiting invocations
 
     def utilization(self, horizon_s: float, capacity: int) -> float:
         if horizon_s <= 0.0:
@@ -74,11 +145,13 @@ class ServerStats:
 
 
 class _Server:
-    def __init__(self, server_id: int, capacity: int):
+    def __init__(self, server_id: int, spec: ServerSpec):
         self.id = server_id
-        self.slots = [0.0] * capacity   # busy_until, from actual releases
+        self.spec = spec
+        self.slots = [0.0] * spec.capacity  # busy_until, actual releases
         self.pending_starts: List[float] = []
         self.stats = ServerStats(server_id=server_id)
+        self.active = True              # autoscaler may retire a server
 
     def purge(self, arrival_t: float) -> None:
         self.pending_starts = [s for s in self.pending_starts
@@ -88,55 +161,89 @@ class _Server:
         idx = min(range(len(self.slots)), key=lambda i: (self.slots[i], i))
         return idx, max(0.0, self.slots[idx] - arrival_t)
 
+    def free_slots(self, arrival_t: float) -> int:
+        return sum(1 for busy_until in self.slots
+                   if busy_until <= arrival_t)
+
 
 class ServerPool:
     """Admission control for a fleet of devices sharing N servers."""
 
-    def __init__(self, options: Optional[PoolOptions] = None):
+    def __init__(self, options: Optional[PoolOptions] = None,
+                 engine: Union[str, DecisionEngine] = "fifo"):
         self.options = options or PoolOptions()
-        self._servers = [_Server(i, self.options.capacity)
-                         for i in range(self.options.servers)]
+        self.engine = make_engine(engine)
+        self._servers = [_Server(i, spec) for i, spec
+                         in enumerate(self.options.server_specs())]
         self._outstanding = 0
         self.total_rejected = 0
 
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
     # -- admission -----------------------------------------------------
     def admit(self, target_name: str, arrival_t: float,
-              priority: bool = False) -> Union[Admission, Rejection]:
+              priority: bool = False,
+              deadline_s: Optional[float] = None,
+              ) -> Union[Admission, Rejection]:
         """Route one offload request arriving at global ``arrival_t``.
 
         Must be called in nondecreasing arrival order with every prior
         admission already released (both fleet engines guarantee this
         admit/release interleaving — docs/fleet.md, "Scheduling
         model"; direct users replay history the same way).
+        ``deadline_s`` is the request's relative deadline; the engine
+        sees it as the absolute ``arrival_t + deadline_s``.
         """
         if self._outstanding:
             raise RuntimeError(
                 "admit() with an unreleased admission outstanding — "
                 "requests must be served in discrete-event order "
                 "(docs/fleet.md, 'Scheduling model')")
-        best = None         # (wait, server, slot_idx)
+        candidates: List[Candidate] = []
         min_wait = None     # across all servers, for the rejection quote
         for server in self._servers:
+            if not server.active:
+                continue
             server.purge(arrival_t)
             slot_idx, wait = server.best_slot(arrival_t)
             if min_wait is None or wait < min_wait:
                 min_wait = wait
-            if wait > 0.0 and self.options.queue_limit is not None:
-                limit = self.options.queue_limit
-                if not priority:
-                    limit -= self.options.priority_reserve
-                if len(server.pending_starts) >= limit:
-                    continue    # this queue is full for us
-            if best is None or (wait, server.id) < (best[0], best[1].id):
-                best = (wait, server, slot_idx)
-        if best is None:
+            if wait > 0.0:
+                limit = server.spec.queue_limit
+                if limit is not None:
+                    if not priority:
+                        limit -= self.options.priority_reserve
+                    if len(server.pending_starts) >= limit:
+                        continue    # this queue is full for us
+            candidates.append(Candidate(
+                server_id=server.id, wait=wait,
+                free_slots=server.free_slots(arrival_t),
+                queue_len=len(server.pending_starts),
+                spec=server.spec, stats=server.stats,
+                slot_idx=slot_idx, server=server))
+        if not candidates:
             self.total_rejected += 1
             # charge the refusal to the server that was closest to free
-            closest = min(self._servers,
+            closest = min((s for s in self._servers if s.active),
                           key=lambda s: (s.best_slot(arrival_t)[1], s.id))
             closest.stats.rejected += 1
             return Rejection(estimated_wait_s=min_wait or 0.0)
-        wait, server, slot_idx = best
+        request = PlacementRequest(
+            target=target_name, arrival_t=arrival_t, priority=priority,
+            deadline_t=(None if deadline_s is None
+                        else arrival_t + deadline_s))
+        chosen = self.engine.select(candidates, request)
+        if chosen is None:
+            # Engine-level admission control (e.g. deadline-aware with
+            # no candidate expected to meet the deadline): same outcome
+            # as a full pool — the device falls back to local.
+            self.total_rejected += 1
+            min(candidates,
+                key=lambda c: (c.wait, c.server_id)).stats.rejected += 1
+            return Rejection(estimated_wait_s=min_wait or 0.0)
+        wait, server, slot_idx = chosen.wait, chosen.server, chosen.slot_idx
         start = arrival_t + wait
         server.slots[slot_idx] = start   # resolved by release()
         stats = server.stats
@@ -149,7 +256,11 @@ class ServerPool:
                                         len(server.pending_starts))
         self._outstanding += 1
         return Admission(server_id=server.id, queue_seconds=wait,
-                         start_s=start, token=(server.id, slot_idx, start))
+                         start_s=start, token=(server.id, slot_idx, start),
+                         speed=server.spec.speed,
+                         network=server.spec.network,
+                         tier=server.spec.tier,
+                         deadline_s=deadline_s, priority=priority)
 
     def release(self, admission: Admission, end_t: float) -> None:
         """The admitted invocation finished at global ``end_t``."""
@@ -161,6 +272,39 @@ class ServerPool:
         server.slots[slot_idx] = end_t
         server.stats.busy_seconds += end_t - start
         self._outstanding -= 1
+
+    # -- elasticity (docs/placement.md, "Autoscaler") ------------------
+    def add_server(self, spec: ServerSpec) -> int:
+        """Grow the pool by one server; returns its (fresh) id.
+
+        Server ids are never reused, so traces and stats stay
+        unambiguous across scale-down/scale-up cycles.
+        """
+        server = _Server(len(self._servers), spec)
+        self._servers.append(server)
+        return server.id
+
+    def remove_server(self, server_id: int, now_t: float) -> bool:
+        """Retire a server if it is idle; returns whether it happened.
+
+        A server still serving (a slot busy past ``now_t``) or with
+        queued starts is left alone — the autoscaler retries on a later
+        tick.  The last active server can never be retired.  Retired
+        servers keep their stats for the fleet summary.
+        """
+        server = self._servers[server_id]
+        if not server.active or self.active_servers <= 1:
+            return False
+        server.purge(now_t)
+        if server.pending_starts or any(busy > now_t
+                                        for busy in server.slots):
+            return False
+        server.active = False
+        return True
+
+    @property
+    def active_servers(self) -> int:
+        return sum(1 for s in self._servers if s.active)
 
     # -- reporting -----------------------------------------------------
     @property
@@ -176,5 +320,27 @@ class ServerPool:
         return sum(s.stats.queue_delay_total for s in self._servers)
 
     def utilization(self, horizon_s: float) -> Dict[int, float]:
-        return {s.id: s.stats.utilization(horizon_s, self.options.capacity)
+        return {s.id: s.stats.utilization(horizon_s, s.spec.capacity)
                 for s in self._servers}
+
+    def servers_detail(self, horizon_s: float) -> List[dict]:
+        """Per-server summary rows (FleetResult.summary, report table)."""
+        rows = []
+        for server in self._servers:
+            s = server.stats
+            rows.append({
+                "id": s.server_id,
+                "tier": server.spec.tier,
+                "speed": server.spec.speed,
+                "capacity": server.spec.capacity,
+                "active": server.active,
+                "admitted": s.admitted,
+                "rejected": s.rejected,
+                "busy_seconds": s.busy_seconds,
+                "queue_delay_s": s.queue_delay_total,
+                "queued_admissions": s.queued_admissions,
+                "max_queue_depth": s.max_queue_depth,
+                "utilization": s.utilization(horizon_s,
+                                             server.spec.capacity),
+            })
+        return rows

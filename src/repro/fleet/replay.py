@@ -13,11 +13,14 @@ the session at the first admission request the script does not cover
 
 This is exact, not approximate, because a session is a deterministic
 function of the *projection* of its admission outcomes — the only
-fields a session ever reads are ``Admission.server_id``,
-``Admission.queue_seconds`` and ``Rejection.estimated_wait_s``
-(``start_s``/``token`` are pool bookkeeping the session never touches).
-Same script in, same execution out: same timeline, same energy, same
-trace, same estimator state.
+fields a session ever reads are the session-visible
+:class:`~repro.runtime.backend.Admission` fields (``server_id``,
+``queue_seconds``, and the heterogeneous-pool ``speed`` / ``network``
+/ ``tier`` / ``deadline_s`` / ``priority``) and
+``Rejection.estimated_wait_s`` (``start_s``/``token`` are pool
+bookkeeping the session never touches).  Same script in, same
+execution out: same timeline, same energy, same trace, same estimator
+state.
 
 Naively this costs O(k^2) interpreter work for a device with k
 admissions.  The :class:`SegmentCache` removes that in the common case:
@@ -56,13 +59,25 @@ class OutcomeProjection:
     server_id: int = 0
     queue_seconds: float = 0.0
     estimated_wait_s: float = 0.0
+    # Heterogeneous-pool fields (docs/placement.md): sessions scale
+    # server compute by speed, talk through the tier's network
+    # override, and record tier/deadline/priority.  NetworkModel is a
+    # frozen dataclass, so the projection stays hashable.
+    speed: float = 1.0
+    network: object = None
+    tier: Optional[str] = None
+    deadline_s: Optional[float] = None
+    priority: bool = False
 
     @classmethod
     def of(cls, outcome) -> "OutcomeProjection":
         """Project a real pool outcome down to what sessions can see."""
         if isinstance(outcome, Admission):
             return cls(admitted=True, server_id=outcome.server_id,
-                       queue_seconds=outcome.queue_seconds)
+                       queue_seconds=outcome.queue_seconds,
+                       speed=outcome.speed, network=outcome.network,
+                       tier=outcome.tier, deadline_s=outcome.deadline_s,
+                       priority=outcome.priority)
         if isinstance(outcome, Rejection):
             return cls(admitted=False,
                        estimated_wait_s=outcome.estimated_wait_s)
@@ -72,7 +87,10 @@ class OutcomeProjection:
         """The synthetic outcome handed to a replayed session."""
         if self.admitted:
             return Admission(server_id=self.server_id,
-                             queue_seconds=self.queue_seconds)
+                             queue_seconds=self.queue_seconds,
+                             speed=self.speed, network=self.network,
+                             tier=self.tier, deadline_s=self.deadline_s,
+                             priority=self.priority)
         return Rejection(estimated_wait_s=self.estimated_wait_s)
 
 
@@ -161,10 +179,15 @@ class Segment:
 _IDENTITY_FIELDS = ("session_id", "dispatcher")
 
 
-def behavior_key(spec: DeviceSpec) -> tuple:
+def behavior_key(spec: DeviceSpec, engine: str = "fifo") -> tuple:
     """The behavior class of a device: a hashable key equal for two
     specs exactly when their sessions are behaviorally interchangeable
     under identical outcome scripts.
+
+    ``engine`` is the pool's decision-engine name: outcome scripts are
+    produced by a specific placement policy, so segments must never be
+    shared across engines even when the device specs agree
+    (docs/placement.md).
 
     Unhashable or stateful option values (fault plans are frozen and
     hash by value; anything else falls back to object identity) only
@@ -189,8 +212,8 @@ def behavior_key(spec: DeviceSpec) -> tuple:
             (name, bytes(data)) for name, data in spec.files.items()))
     else:
         files_key = None
-    return (id(spec.program), id(spec.network), bytes(spec.stdin),
-            files_key, tuple(parts))
+    return (engine, id(spec.program), id(spec.network),
+            bytes(spec.stdin), spec.deadline_s, files_key, tuple(parts))
 
 
 def run_segment(spec: DeviceSpec,
@@ -223,8 +246,9 @@ class SegmentCache:
     their final segment themselves.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "fifo") -> None:
         self._segments: Dict[tuple, Segment] = {}
+        self.engine = engine
         self.session_runs = 0
         self.shared_hits = 0
 
@@ -234,7 +258,7 @@ class SegmentCache:
         when a behaviorally identical device already ran it."""
         base = spec.options or SessionOptions()
         traced = bool(base.enable_tracing)
-        key = (behavior_key(spec), script)
+        key = (behavior_key(spec, self.engine), script)
         hit = self._segments.get(key)
         if hit is not None and (not hit.done or not traced):
             self.shared_hits += 1

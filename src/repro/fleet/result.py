@@ -11,7 +11,7 @@ byte-identical serializations of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..runtime.session import SessionResult
 from ..trace.analysis.aggregate import (invocation_counts,
@@ -49,13 +49,17 @@ class FleetResult:
     :class:`~repro.fleet.spec.DeviceSpec`, in spec order; ``pool`` is
     the (now fully drained) :class:`~repro.fleet.pool.ServerPool` with
     its per-server statistics; ``makespan_s`` is the latest device
-    completion on the global clock.  :meth:`summary` renders the
-    JSON-safe fleet report, :meth:`merged_events` the fleet-wide trace.
+    completion on the global clock; ``autoscale`` is the
+    :class:`~repro.fleet.autoscaler.Autoscaler`'s action/finding
+    accounting when one ran (None otherwise).  :meth:`summary` renders
+    the JSON-safe fleet report, :meth:`merged_events` the fleet-wide
+    trace.
     """
 
     devices: List[DeviceOutcome]
     pool: ServerPool
     makespan_s: float
+    autoscale: Optional[dict] = None
 
     def summary(self) -> dict:
         """The JSON-safe fleet report (stable key order; two same-seed
@@ -77,7 +81,12 @@ class FleetResult:
         opts = self.pool.options
         return {
             "devices": len(self.devices),
-            "servers": opts.servers,
+            # Actual pool width (the autoscaler may have grown it past
+            # the configured size; retired servers still count here and
+            # carry active=False in servers_detail).
+            "servers": len(self.pool.stats),
+            "servers_active": self.pool.active_servers,
+            "engine": self.pool.engine_name,
             "capacity": opts.capacity,
             "queue_limit": opts.queue_limit,
             "makespan_s": self.makespan_s,
@@ -105,19 +114,8 @@ class FleetResult:
                     queue_s / queued if queued else 0.0),
                 "queued_admissions": queued,
             },
-            "servers_detail": [
-                {
-                    "id": s.server_id,
-                    "admitted": s.admitted,
-                    "rejected": s.rejected,
-                    "busy_seconds": s.busy_seconds,
-                    "queue_delay_s": s.queue_delay_total,
-                    "max_queue_depth": s.max_queue_depth,
-                    "utilization": s.utilization(self.makespan_s,
-                                                 opts.capacity),
-                }
-                for s in self.pool.stats
-            ],
+            "servers_detail": self.pool.servers_detail(self.makespan_s),
+            "autoscale": self.autoscale or {},
             "energy_mj_total": sum(r.energy_mj for r in results),
         }
 

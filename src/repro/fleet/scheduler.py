@@ -19,6 +19,10 @@ only when one of its events fires:
    device runs;
 3. a :data:`~repro.fleet.events.COMPLETION` event marks the device
    finished; it touches no shared state.
+4. optionally, :data:`~repro.fleet.events.AUTOSCALE` ticks let an
+   :class:`~repro.fleet.autoscaler.Autoscaler` resize the pool between
+   device events (docs/placement.md); ticks order *after* all device
+   events at the same instant and stop once every device completes.
 
 No threads, no wall-clock: wall time per simulated invocation is pure
 interpreter work, shared across behaviorally identical devices by the
@@ -37,12 +41,14 @@ byte-identical output.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Tuple
 
 from ..runtime.backend import Admission
+from .autoscaler import Autoscaler
 from .clock import EventQueue, SimClock
-from .events import (ADMISSION_REQUEST, ARRIVAL, COMPLETION, TRANSITIONS,
-                     DeviceState)
+from .events import (ADMISSION_REQUEST, ARRIVAL, AUTOSCALE, COMPLETION,
+                     TRANSITIONS, DeviceState)
 from .lockstep import LockstepFleetScheduler
 from .pool import ServerPool
 from .replay import OutcomeProjection, Segment, SegmentCache
@@ -54,6 +60,22 @@ from .spec import DeviceSpec, arrival_offsets  # noqa: F401  (re-export)
 #: deprecated reference engine.
 SCHEDULER_ENGINES = ("event", "lockstep")
 DEFAULT_ENGINE = "event"
+
+#: One-per-process latch for the lockstep deprecation warning
+#: (tests/test_fleet_differential.py asserts exactly-once semantics).
+_LOCKSTEP_WARNED = False
+
+
+def _warn_lockstep_deprecated() -> None:
+    global _LOCKSTEP_WARNED
+    if _LOCKSTEP_WARNED:
+        return
+    _LOCKSTEP_WARNED = True
+    warnings.warn(
+        "the 'lockstep' fleet scheduler engine is deprecated and kept "
+        "only as a byte-identical reference; use the default 'event' "
+        "engine (docs/fleet.md, 'Lockstep vs event-driven')",
+        DeprecationWarning, stacklevel=3)
 
 
 class _DeviceProcess:
@@ -89,13 +111,17 @@ class FleetScheduler:
 
     ``replay`` exposes the :class:`~repro.fleet.replay.SegmentCache`
     whose ``stats()`` report how many sessions actually ran — the
-    simulator-speed benchmark gates on it.
+    simulator-speed benchmark gates on it.  An optional ``autoscaler``
+    gets periodic :data:`~repro.fleet.events.AUTOSCALE` ticks and may
+    resize the pool between device events.
     """
 
-    def __init__(self, devices: List[DeviceSpec], pool: ServerPool):
+    def __init__(self, devices: List[DeviceSpec], pool: ServerPool,
+                 autoscaler: Optional[Autoscaler] = None):
         self.pool = pool
         self.clock = SimClock()
-        self.replay = SegmentCache()
+        self.replay = SegmentCache(engine=pool.engine_name)
+        self.autoscaler = autoscaler
         self._procs = [_DeviceProcess(i, spec)
                        for i, spec in enumerate(devices)]
 
@@ -105,10 +131,23 @@ class FleetScheduler:
         queue = EventQueue()
         for p in procs:
             queue.push(p.offset, p.index, ARRIVAL)
+        # The autoscaler's tick index sorts after every device index,
+        # so at equal times all device events resolve before a resize.
+        tick_index = len(procs)
+        if self.autoscaler is not None and procs:
+            queue.push(self.autoscaler.options.interval_s, tick_index,
+                       AUTOSCALE)
 
         while queue:
             t, index, kind = queue.pop()
             self.clock.advance_to(t)
+            if kind == AUTOSCALE:
+                self.autoscaler.evaluate(t, self.pool)
+                if any(p.state is not DeviceState.COMPLETE
+                       for p in procs):
+                    queue.push(t + self.autoscaler.options.interval_s,
+                               tick_index, AUTOSCALE)
+                continue
             p = procs[index]
             if kind == ARRIVAL:
                 p.transition(DeviceState.ARRIVED)
@@ -134,7 +173,9 @@ class FleetScheduler:
         makespan = (max(o.completion_s for o in outcomes)
                     if outcomes else 0.0)
         return FleetResult(devices=outcomes, pool=self.pool,
-                           makespan_s=makespan)
+                           makespan_s=makespan,
+                           autoscale=(self.autoscaler.summary()
+                                      if self.autoscaler else None))
 
     # -- event handlers ------------------------------------------------
     def _serve(self, p: _DeviceProcess, t: float,
@@ -143,7 +184,10 @@ class FleetScheduler:
         touches shared state, in exactly the lockstep order —
         admit(k), then release(k) before anyone else's admit."""
         outcome = self.pool.admit(p.pending_target, t,
-                                  priority=p.spec.priority)
+                                  priority=p.spec.priority,
+                                  deadline_s=p.spec.deadline_s)
+        if self.autoscaler is not None:
+            self.autoscaler.observe(t, outcome)
         p.pending_target = None
         p.script = p.script + (OutcomeProjection.of(outcome),)
         segment = self._advance(p, queue)
@@ -173,16 +217,25 @@ class FleetScheduler:
 
 
 def make_scheduler(devices: List[DeviceSpec], pool: ServerPool,
-                   engine: str = DEFAULT_ENGINE):
+                   engine: str = DEFAULT_ENGINE,
+                   autoscaler: Optional[Autoscaler] = None):
     """Build a fleet scheduler by engine name.
 
     ``event`` (the default) is the single-threaded discrete-event core;
     ``lockstep`` is the deprecated one-thread-per-device reference
-    engine, byte-identical but unusable beyond tens of devices.
+    engine, byte-identical but unusable beyond tens of devices (its
+    first selection per process emits a ``DeprecationWarning``).  Only
+    the event engine supports an ``autoscaler`` — elasticity is
+    control-plane work scheduled as events.
     """
     if engine == "event":
-        return FleetScheduler(devices, pool)
+        return FleetScheduler(devices, pool, autoscaler=autoscaler)
     if engine == "lockstep":
+        if autoscaler is not None:
+            raise ValueError(
+                "the lockstep engine does not support an autoscaler; "
+                "use the event engine (docs/placement.md)")
+        _warn_lockstep_deprecated()
         return LockstepFleetScheduler(devices, pool)
     raise ValueError(
         f"unknown scheduler engine {engine!r}; "

@@ -38,6 +38,10 @@ class DeviceSpec:
     start_offset_s: float = 0.0     # global time the device starts
     options: Optional[SessionOptions] = None
     priority: bool = False          # may use the pool's reserved queue tail
+    # Relative per-invocation deadline (seconds from each admission
+    # request) for the deadline-aware decision engine
+    # (docs/placement.md); None = no deadline.
+    deadline_s: Optional[float] = None
 
 
 def arrival_offsets(pattern: str, devices: int, spacing_s: float,

@@ -29,9 +29,18 @@ is) or be refused outright, in which case the invocation degrades to
 :class:`repro.fleet.scheduler.FleetScheduler` supplies a
 :class:`repro.fleet.replay.ScriptedDispatcher` that replays recorded
 pool outcomes into the session; sessions only ever read the
-``server_id``/``queue_seconds`` of an :class:`Admission` and the
+session-visible fields of an :class:`Admission` (``server_id``,
+``queue_seconds``, and the heterogeneous-pool fields ``speed`` /
+``network`` / ``tier`` / ``deadline_s`` / ``priority``) and the
 ``estimated_wait_s`` of a :class:`Rejection`, which is what makes that
 replay exact (docs/simulator.md, "Replay, not resumption").
+
+Heterogeneous pools (docs/placement.md): an admission may carry a
+``speed`` multiplier — server compute time divides by it — and a
+``network`` override, under which every byte of the invocation travels
+the admitting tier's link (a cloud server is fast-far: big ``speed``,
+WAN network).  Both default to no-ops, keeping the single-session and
+homogeneous-fleet arithmetic bit-identical.
 """
 
 from __future__ import annotations
@@ -78,6 +87,12 @@ class InvocationRecord:
     queue_seconds: float = 0.0
     server_id: Optional[int] = None
     rejected: bool = False
+    # Placement accounting (docs/placement.md): the tier that served
+    # the invocation, and the deadline/priority the request carried
+    # into the pool's decision engine.
+    tier: Optional[str] = None
+    deadline_s: Optional[float] = None
+    priority: bool = False
 
     @property
     def traffic_bytes(self) -> int:
@@ -88,9 +103,11 @@ class InvocationRecord:
 class Admission:
     """A granted server slot for one offload invocation.
 
-    Sessions read only ``server_id`` and ``queue_seconds``;
-    ``start_s``/``token`` are pool bookkeeping.  The event-driven fleet
-    scheduler's replay correctness depends on that split
+    Sessions read ``server_id``, ``queue_seconds`` and the
+    heterogeneous-pool echo fields (``speed``, ``network``, ``tier``,
+    ``deadline_s``, ``priority``); ``start_s``/``token`` are pool
+    bookkeeping.  The event-driven fleet scheduler's replay correctness
+    depends on that split
     (:class:`repro.fleet.replay.OutcomeProjection`) — a backend change
     that makes sessions consume more of this object must extend the
     projection too.
@@ -100,6 +117,15 @@ class Admission:
     queue_seconds: float = 0.0    # time the device waits before service
     start_s: float = 0.0          # global fleet time service begins
     token: object = None          # pool-internal reservation handle
+    # Heterogeneous-pool fields (docs/placement.md).  speed divides
+    # server compute time; network, when set, is the admitting tier's
+    # link the comm layer uses for the whole invocation.  tier /
+    # deadline_s / priority are echoes for InvocationRecord accounting.
+    speed: float = 1.0
+    network: object = None        # NetworkModel override or None
+    tier: Optional[str] = None
+    deadline_s: Optional[float] = None
+    priority: bool = False
 
 
 @dataclass(frozen=True)
@@ -246,6 +272,9 @@ class RemoteBackend(ExecutionBackend):
                                       outcome)
             admission = outcome
             record.server_id = admission.server_id
+            record.tier = admission.tier
+            record.deadline_s = admission.deadline_s
+            record.priority = admission.priority
             if admission.queue_seconds > 0.0:
                 record.queue_seconds = admission.queue_seconds
                 if tr.enabled:
@@ -256,6 +285,43 @@ class RemoteBackend(ExecutionBackend):
                         admission.queue_seconds)
                 if not zero:
                     session._advance(admission.queue_seconds, "queue")
+
+        # ---- tier network override (docs/placement.md) ------------
+        # A cloud-tier admission carries the WAN NetworkModel the
+        # device must talk through for this invocation.  Swap it in
+        # for the protocol body and restore the device's own link
+        # afterwards — the finally runs even when the body returns
+        # through the abort/local-fallback paths.
+        override = admission.network if admission is not None else None
+        if override is None or override is session.network:
+            return self._offload_protocol(target, interp, args, record,
+                                          admission, bytes_s0, bytes_m0,
+                                          faults0)
+        saved = session.network
+        session.network = override
+        session.comm.set_network(override)
+        try:
+            return self._offload_protocol(target, interp, args, record,
+                                          admission, bytes_s0, bytes_m0,
+                                          faults0)
+        finally:
+            session.network = saved
+            session.comm.set_network(saved)
+
+    def _offload_protocol(self, target: OffloadTarget, interp: Interpreter,
+                          args: List, record: InvocationRecord,
+                          admission: Optional[Admission],
+                          bytes_s0: int, bytes_m0: int, faults0: int):
+        """The admitted protocol body: init → server exec → finalize.
+
+        Runs under the admitting tier's network override when one is in
+        effect; ``admission.speed`` divides server compute time (a 1.0
+        speed is a bit-exact no-op)."""
+        session = self.session
+        opts = session.options
+        zero = opts.zero_overhead
+        tr = session.tracer
+        speed = admission.speed if admission is not None else 1.0
 
         # Observable-state snapshot for abort-and-replay: remote I/O
         # mutates the mobile environment mid-execution, so a failed
@@ -330,6 +396,8 @@ class RemoteBackend(ExecutionBackend):
             session._current_server_interp = None
             session._rio_pending = rio0
             partial = server_interp.time_seconds
+            if speed != 1.0:
+                partial /= speed
             record.server_seconds = partial
             session.server_instructions += server_interp.instruction_count
             session.server_compute_seconds += partial
@@ -345,6 +413,8 @@ class RemoteBackend(ExecutionBackend):
         rio_seconds = session._rio_pending
         session._rio_pending = rio0
         server_seconds = server_interp.time_seconds
+        if speed != 1.0:
+            server_seconds /= speed
         session.server_instructions += server_interp.instruction_count
         session.server_compute_seconds += server_seconds
         record.server_seconds = server_seconds
@@ -517,4 +587,5 @@ class RemoteBackend(ExecutionBackend):
         session = self.session
         self.dispatcher.release(admission, session.now())
         session.estimator.record_queue_delay(
-            admission.server_id, admission.queue_seconds)
+            admission.server_id, admission.queue_seconds,
+            speed=admission.speed)

@@ -100,6 +100,19 @@ class CommunicationManager:
         self.stats = CommStats()
         self._active_batch = None  # (to_server, payload list) or None
 
+    def set_network(self, network: NetworkModel) -> None:
+        """Re-point the comm path at a different link profile.
+
+        Used by the fleet's tiered pools (docs/placement.md): a
+        cloud-tier admission swaps the device onto the tier's WAN for
+        the invocation and swaps the original link back afterwards.
+        The :class:`~repro.runtime.network.Link` reads its network at
+        transmit time, so the swap takes effect immediately; fault
+        plans and transport retry state carry over unchanged.
+        """
+        self.network = network
+        self.transport.link.network = network
+
     # -- explicit batching windows --------------------------------------
     def begin_batch(self, to_server: bool) -> None:
         """Open a batching window: subsequent sends in this direction are

@@ -96,6 +96,12 @@ class DynamicPerformanceEstimator:
         self.queue_delay_ewma: Dict[int, float] = {}
         self.rejection_wait_ewma: Optional[float] = None
         self.pool_rejections: int = 0
+        # Heterogeneous-pool awareness (docs/placement.md): the speed
+        # multiplier observed per server id, so Equation 1's compute
+        # saving reflects the server the device actually lands on.
+        # Empty outside fleet runs — the effective ratio is then the
+        # base performance_ratio, bit-identically.
+        self.server_speed: Dict[int, float] = {}
 
     def _state(self, name: str) -> TargetRuntimeState:
         return self.state.setdefault(name, TargetRuntimeState())
@@ -136,10 +142,14 @@ class DynamicPerformanceEstimator:
                              failure_cooldown=state.cooldown,
                              failures=state.failures)
 
-    def record_queue_delay(self, server_id: int, seconds: float) -> None:
+    def record_queue_delay(self, server_id: int, seconds: float,
+                           speed: float = 1.0) -> None:
         """One admission completed: fold the observed slot wait into the
         per-server EWMA (0 seconds is an observation too — it is how an
-        idle pool talks a device back into offloading)."""
+        idle pool talks a device back into offloading).  ``speed`` is
+        the serving spec's multiplier; the latest observation wins
+        because a server's speed is static for its lifetime."""
+        self.server_speed[server_id] = speed
         prev = self.queue_delay_ewma.get(server_id)
         if prev is None:
             self.queue_delay_ewma[server_id] = seconds
@@ -171,6 +181,17 @@ class DynamicPerformanceEstimator:
             expected = max(expected, self.rejection_wait_ewma)
         return expected
 
+    def expected_server_speed(self) -> float:
+        """Speed multiplier of the server the next offload is expected
+        to land on: the one behind the best queue-delay EWMA (the same
+        server ``expected_queue_seconds`` bets on).  1.0 with no fleet
+        history — the single-session no-op."""
+        if not self.queue_delay_ewma:
+            return 1.0
+        best = min(self.queue_delay_ewma.items(),
+                   key=lambda item: (item[1], item[0]))[0]
+        return self.server_speed.get(best, 1.0)
+
     # -- the decision -------------------------------------------------
     def estimate(self, target: OffloadTarget) -> GainEstimate:
         """Per-invocation Equation 1 with run-time values, componentwise."""
@@ -187,7 +208,11 @@ class DynamicPerformanceEstimator:
                   else state.observed_traffic_bytes)
         if memory is None:
             memory = float(prof.memory_bytes) if prof is not None else 0.0
-        t_ideal = t_mobile * (1.0 - 1.0 / self.performance_ratio)
+        # The server the request is expected to land on may be faster
+        # than the paper's reference (speed > 1); a 1.0 speed leaves
+        # the ratio bit-identical to the single-server arithmetic.
+        ratio = self.performance_ratio * self.expected_server_speed()
+        t_ideal = t_mobile * (1.0 - 1.0 / ratio)
         bandwidth = self.network.bandwidth_bytes_per_s
         if self.predictor is not None:
             bandwidth = self.predictor.predict_bps(

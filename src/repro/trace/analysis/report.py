@@ -53,11 +53,29 @@ _HIGHER_BETTER = ("throughput", "reduction", "speedup", "hit", "saved",
 def build_report(events: Sequence[TraceEvent], *,
                  source: Optional[dict] = None,
                  dropped: int = 0,
-                 rules=DEFAULT_RULES) -> dict:
-    """Analyze ``events`` into the full report dict."""
+                 rules=DEFAULT_RULES,
+                 servers: Optional[Sequence[dict]] = None) -> dict:
+    """Analyze ``events`` into the full report dict.
+
+    ``servers`` is the optional pool-side per-server detail of a live
+    fleet run (``FleetResult.summary()["servers_detail"]`` rows); the
+    trace alone only sees queued admissions, so utilization, busy
+    seconds, peak queue depth, tier and speed ride in from the pool and
+    are merged into the ``fleet.servers`` table.  Reports built from a
+    saved JSONL have no pool and keep the trace-derived columns only.
+    """
     events = list(events)
     sessions = reconstruct_sessions(events)
     agg: FleetAggregate = aggregate_sessions(sessions)
+    if servers:
+        for row in servers:
+            merged = agg.servers.setdefault(
+                int(row["id"]),
+                {"queued_admissions": 0, "queue_delay_s": 0.0})
+            for key in ("tier", "speed", "capacity", "active", "admitted",
+                        "rejected", "busy_seconds", "max_queue_depth",
+                        "utilization"):
+                merged[key] = row[key]
     findings = evaluate_rules(sessions, rules)
     invariant = validate_sessions(sessions, events)
     warnings: List[str] = []
@@ -298,11 +316,20 @@ def render_html(report: dict) -> str:
 
     if fleet["servers"]:
         parts.append("<h2>Servers</h2>")
+        # Pool-side columns (tier/speed/utilization/peak depth) exist
+        # only for live fleet runs; JSONL-derived reports show "-".
         parts.append(_table(
-            ["server", "queued admissions", "queue delay s"],
-            [[sid, row["queued_admissions"], row["queue_delay_s"]]
+            ["server", "tier", "speed", "admitted", "rejected",
+             "queued admissions", "queue delay s", "busy s",
+             "utilization", "peak queue depth"],
+            [[sid, row.get("tier", "-"), row.get("speed", "-"),
+              row.get("admitted", "-"), row.get("rejected", "-"),
+              row["queued_admissions"], row["queue_delay_s"],
+              row.get("busy_seconds", "-"), row.get("utilization", "-"),
+              row.get("max_queue_depth", "-")]
              for sid, row in sorted(fleet["servers"].items(),
-                                    key=lambda kv: int(kv[0]))]))
+                                    key=lambda kv: int(kv[0]))],
+            left=2))
 
     parts.append("<h2>SLO findings</h2>")
     if report["findings"]:

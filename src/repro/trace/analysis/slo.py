@@ -104,8 +104,14 @@ PREFETCH_WASTE_STREAK = 3
 
 
 @dataclass
-class _Observation:
-    """One invocation flattened to the fields the metrics consume."""
+class Observation:
+    """One invocation flattened to the fields the metrics consume.
+
+    Shared with the fleet's :class:`~repro.fleet.autoscaler.Autoscaler`,
+    which builds these live from admission outcomes instead of from
+    reconstructed spans — same metrics, same thresholds, evaluated
+    mid-simulation (docs/placement.md, "Autoscaler").
+    """
 
     t: float
     offloaded: bool
@@ -114,15 +120,19 @@ class _Observation:
     retries: int
 
 
-def _observe(sessions: Sequence[SessionSpan]) -> List[_Observation]:
-    obs: List[_Observation] = []
+#: Backwards-compatible private alias (pre-autoscaler name).
+_Observation = Observation
+
+
+def _observe(sessions: Sequence[SessionSpan]) -> List[Observation]:
+    obs: List[Observation] = []
     for session in sessions:
         for inv in session.invocations:
             retries = sum(1 for e in inv.events()
                           if e.category == "transport.retry")
             fallback = any(e.category == "offload.fallback"
                            for e in inv.events())
-            obs.append(_Observation(
+            obs.append(Observation(
                 t=inv.start, offloaded=inv.status == "offloaded",
                 fallback=fallback, queue_wait_s=inv.queue_seconds,
                 retries=retries))
@@ -130,7 +140,11 @@ def _observe(sessions: Sequence[SessionSpan]) -> List[_Observation]:
     return obs
 
 
-def _metric(name: str, window: List[_Observation]) -> float:
+def window_metric(name: str, window: Sequence[Observation]) -> float:
+    """One windowed metric over a non-empty observation window.
+
+    The single implementation behind both the post-hoc report rules
+    and the in-simulation autoscaler, so the two can never drift."""
     if name == "decline_rate":
         return sum(1 for o in window if not o.offloaded) / len(window)
     if name == "mean_queue_wait_s":
@@ -140,6 +154,10 @@ def _metric(name: str, window: List[_Observation]) -> float:
     if name == "fallback_ratio":
         return sum(1 for o in window if o.fallback) / len(window)
     raise KeyError(f"unknown SLO metric {name!r}")
+
+
+#: Backwards-compatible private alias (pre-autoscaler name).
+_metric = window_metric
 
 
 def _windows(span_end: float, width: float):

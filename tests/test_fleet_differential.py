@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import warnings
 
 import pytest
 
@@ -153,6 +154,53 @@ class TestDifferential:
                           LockstepFleetScheduler)
         with pytest.raises(ValueError, match="unknown scheduler engine"):
             make_scheduler(specs, _pool(), engine="threads")
+
+
+class TestEngineByteIdentity:
+    """Explicit ``engine="fifo"`` on a homogeneous pool is byte-identical
+    to the default pool (ISSUE 7 acceptance): the placement layer is a
+    pure refactor of the historical admission loop, held to the same
+    fingerprint across traced, faulted and untraced fleets, on both
+    execution engines."""
+
+    @pytest.mark.parametrize("kw", [
+        {"devices": 2},
+        {"devices": 2, "faults": True},
+        {"devices": 4, "tracing": False, "arrival": "uniform"},
+    ], ids=["traced", "faulted", "untraced"])
+    def test_fifo_matches_default(self, program, kw):
+        kw = dict(kw)
+        devices = kw.pop("devices")
+
+        def fifo_pool():
+            return ServerPool(PoolOptions(servers=2, capacity=1,
+                                          queue_limit=2), engine="fifo")
+
+        default = FleetScheduler(_specs(program, devices, **kw),
+                                 _pool()).run()
+        explicit = FleetScheduler(_specs(program, devices, **kw),
+                                  fifo_pool()).run()
+        lockstep = LockstepFleetScheduler(_specs(program, devices, **kw),
+                                          fifo_pool()).run()
+        assert _fingerprint(default) == _fingerprint(explicit)
+        assert _fingerprint(explicit) == _fingerprint(lockstep)
+
+
+class TestLockstepDeprecation:
+    """Selecting the lockstep engine warns exactly once per process
+    (ISSUE 7 satellite)."""
+
+    def test_warning_fires_exactly_once(self, program, monkeypatch):
+        from repro.fleet import scheduler as scheduler_module
+        monkeypatch.setattr(scheduler_module, "_LOCKSTEP_WARNED", False)
+        specs = _specs(program, 1)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            make_scheduler(specs, _pool(), engine="lockstep")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            make_scheduler(specs, _pool(), engine="lockstep")
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
 
 
 class TestEventOrdering:
