@@ -49,6 +49,10 @@ def cmd_list(args) -> int:
     print(f"{'name':16s} {'LoC':>4s}  description")
     for spec in ALL_WORKLOADS:
         print(f"{spec.name:16s} {spec.loc:4d}  {spec.description}")
+    print(f"{FLEET_MICRO_WORKLOAD:16s} {'-':>4s}  built-in hot kernel "
+          f"(fleet default; nested loops, single-server)")
+    print(f"{PARALLEL_MICRO_WORKLOAD:16s} {'-':>4s}  built-in "
+          f"data-parallel kernel (shardable via --shards)")
     return 0
 
 
@@ -136,17 +140,16 @@ def cmd_run(args) -> int:
     network = _resolve_network(args.network)
     if network is None:
         return 2
-    spec, module, profile, program = _compile(args.workload)
-    local = run_local(module, stdin=spec.eval_stdin,
-                      files=spec.eval_files)
+    name, module, stdin, files, program = _workload_program(args.workload)
+    local = run_local(module, stdin=stdin, files=files)
     plan = _fault_plan(args)
     session = OffloadSession(program, network,
-                             options=SessionOptions(fault_plan=plan),
-                             stdin=spec.eval_stdin,
-                             files=spec.eval_files)
+                             options=SessionOptions(fault_plan=plan,
+                                                    shards=args.shards),
+                             stdin=stdin, files=files)
     result = session.run()
     match = "identical" if result.stdout == local.stdout else "DIFFERENT"
-    print(f"{spec.name} over {network.name}"
+    print(f"{name} over {network.name}"
           + (f" (faulty link, seed {args.seed})" if plan else ""))
     print(f"  local   : {local.seconds * 1e3:9.2f} ms  "
           f"{local.energy_mj:9.1f} mJ")
@@ -160,10 +163,28 @@ def cmd_run(args) -> int:
           f"invocations, "
           f"traffic {result.traffic_per_invocation_mb:.3f} MB/invocation, "
           f"output {match}")
+    _print_scatter_summary(result)
     _print_uva_summary(result)
     if plan is not None:
         _print_fault_summary(result)
     return 0 if match == "identical" else 1
+
+
+def _print_scatter_summary(result) -> None:
+    """The scatter/gather line of the run summary: how many invocations
+    ran as multi-shard plans and what the fan-out bought
+    (docs/parallel-offload.md)."""
+    plans = [r for r in result.invocations if r.shards > 1]
+    if not plans:
+        return
+    shards = sum(r.shards for r in plans)
+    wall = sum(r.shard_wall_seconds for r in plans)
+    serial = sum(r.server_seconds for r in plans)
+    stragglers = sum(r.stragglers for r in plans)
+    print(f"  scatter : {len(plans)} plan(s), {shards} shards, "
+          f"parallel exec {wall * 1e3:.2f} ms "
+          f"(serial {serial * 1e3:.2f} ms), "
+          f"{stragglers} straggler(s) replayed locally")
 
 
 def cmd_trace(args) -> int:
@@ -172,19 +193,20 @@ def cmd_trace(args) -> int:
     network = _resolve_network(args.network)
     if network is None:
         return 2
-    spec, module, profile, program = _compile(args.workload)
+    name, module, stdin, files, program = _workload_program(args.workload)
     plan = _fault_plan(args)
     options = SessionOptions(enable_tracing=True,
                              trace_capacity=args.capacity,
-                             fault_plan=plan)
+                             fault_plan=plan,
+                             shards=args.shards)
     session = OffloadSession(program, network, options=options,
-                             stdin=spec.eval_stdin, files=spec.eval_files)
+                             stdin=stdin, files=files)
     result = session.run()
     tracer = result.trace
     events = tracer.events()
 
     categories = (args.categories.split(",") if args.categories else None)
-    print(f"{spec.name} over {network.name} — "
+    print(f"{name} over {network.name} — "
           f"{len(events)} trace events"
           + (f" ({tracer.dropped} dropped by the ring buffer)"
              if tracer.dropped else ""))
@@ -202,6 +224,7 @@ def cmd_trace(args) -> int:
     print()
     print("analysis (span-derived — same aggregation as `repro report`)")
     _print_analysis_summary(events)
+    _print_scatter_summary(result)
     print()
     print("uva data plane")
     _print_uva_summary(result)
@@ -213,7 +236,7 @@ def cmd_trace(args) -> int:
         print(f"wrote {count} events to {args.jsonl}")
     if args.chrome:
         write_chrome_trace(events, args.chrome,
-                           process_name=f"{spec.name} over {network.name}",
+                           process_name=f"{name} over {network.name}",
                            dropped=tracer.dropped)
         print(f"wrote Chrome trace to {args.chrome} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
@@ -270,18 +293,78 @@ int main() {
 """
 _FLEET_MICRO_STDIN = b"600\n"
 
+# A data-parallel built-in: one flat loop, disjoint element writes —
+# exactly the shape the shard analyzer accepts, so `--shards K`
+# actually scatters it (docs/parallel-offload.md).  `fleet-micro`'s
+# crunch kernel is nested-loop and always stays single-server.
+PARALLEL_MICRO_WORKLOAD = "parallel-micro"
+_PARALLEL_MICRO_SRC = r"""
+int data[8192];
+int out[8192];
+int n;
 
-def _fleet_program(name: str):
-    """(module, stdin, files, program) for a fleet workload name."""
+void smooth(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = data[i];
+        v = v * 31 + (v >> 3);
+        v ^= v << 7;
+        v += v >> 11;
+        v = v * 1103515245 + 12345;
+        v ^= v >> 13;
+        v = v * 69069 + 1;
+        v ^= v << 3;
+        v += (v >> 2) ^ (v << 9);
+        v = v * 2654435761 + 40503;
+        v ^= v >> 17;
+        v += (v << 5) - v;
+        v = v * 22695477 + 1;
+        v ^= v >> 7;
+        v += (v >> 4) ^ (v << 11);
+        v = v * 134775813 + 1;
+        v ^= v << 13;
+        out[i] = (v ^ (v >> 5)) + i;
+    }
+}
+
+int main() {
+    int i, acc = 0;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    smooth();
+    for (i = 0; i < n; i++) acc += out[i];
+    printf("smoothed %d\n", acc);
+    return 0;
+}
+"""
+_PARALLEL_MICRO_STDIN = b"4000\n"
+
+
+def _workload_program(name: str):
+    """(display name, module, stdin, files, program) for any workload a
+    subcommand names: the paper suite plus the built-in micro kernels."""
     if name == FLEET_MICRO_WORKLOAD:
         module = compile_c(_FLEET_MICRO_SRC, FLEET_MICRO_WORKLOAD)
         profile = profile_module(module, stdin=_FLEET_MICRO_STDIN)
         program = NativeOffloaderCompiler(
             CompilerOptions(forced_targets=["crunch"])).compile(
                 module, profile)
-        return module, _FLEET_MICRO_STDIN, None, program
+        return name, module, _FLEET_MICRO_STDIN, None, program
+    if name == PARALLEL_MICRO_WORKLOAD:
+        module = compile_c(_PARALLEL_MICRO_SRC, PARALLEL_MICRO_WORKLOAD)
+        profile = profile_module(module, stdin=_PARALLEL_MICRO_STDIN)
+        program = NativeOffloaderCompiler(
+            CompilerOptions(forced_targets=["smooth"])).compile(
+                module, profile)
+        return name, module, _PARALLEL_MICRO_STDIN, None, program
     spec, module, profile, program = _compile(name)
-    return module, spec.eval_stdin, spec.eval_files, program
+    return spec.name, module, spec.eval_stdin, spec.eval_files, program
+
+
+def _fleet_program(name: str):
+    """(module, stdin, files, program) for a fleet workload name."""
+    _, module, stdin, files, program = _workload_program(name)
+    return module, stdin, files, program
 
 
 def _pool_options(args) -> PoolOptions:
@@ -339,7 +422,8 @@ def _run_fleet(args, network, enable_tracing: bool):
         plan = (dataclasses.replace(base_plan, seed=fan.seed("fault", i))
                 if base_plan is not None else None)
         options = SessionOptions(enable_tracing=enable_tracing,
-                                 fault_plan=plan)
+                                 fault_plan=plan,
+                                 shards=getattr(args, "shards", 1))
         devices.append(DeviceSpec(device_id=device_id, program=program,
                                   network=network, stdin=stdin,
                                   files=files, start_offset_s=offsets[i],
@@ -379,6 +463,8 @@ def cmd_fleet(args) -> int:
           f"queue limit {args.queue_limit}, "
           f"engine {summary['engine']}, "
           f"{args.arrival} arrivals, seed {args.seed}"
+          + (f", {args.shards} shards/invocation"
+             if getattr(args, "shards", 1) > 1 else "")
           + (" (faulty links)" if base_plan is not None else "")
           + (" (autoscaled)" if getattr(args, "autoscale", False)
              else ""))
@@ -400,7 +486,8 @@ def cmd_fleet(args) -> int:
         print(f"  server {server['id']}  : {server['tier']} "
               f"x{server['speed']:g}{retired}, utilization "
               f"{server['utilization'] * 100:5.1f}%, "
-              f"{server['admitted']} admitted, "
+              f"{server['admitted']} admitted "
+              f"({server['shard_admissions']} gang shards), "
               f"{server['rejected']} rejected, "
               f"queue delay {server['queue_delay_s'] * 1e3:.2f} ms, "
               f"max depth {server['max_queue_depth']}")
@@ -436,7 +523,7 @@ def _fleet_source(args, faulty: bool) -> dict:
         "spacing_s": args.spacing, "seed": args.seed, "faulty": faulty,
         "engine": args.engine, "cloud_servers": args.cloud_servers,
         "cloud_speed": args.cloud_speed, "deadline_s": args.deadline,
-        "autoscale": args.autoscale,
+        "autoscale": args.autoscale, "shards": args.shards,
     }
 
 
@@ -578,6 +665,17 @@ def _add_fault_args(p) -> None:
                    "probability (0..1)")
 
 
+def _add_parallel_args(p) -> None:
+    """Scatter/gather knobs shared by the run/trace/fleet/report
+    subcommands (docs/parallel-offload.md).  The default keeps every
+    invocation on the historical single-server path byte for byte."""
+    p.add_argument("--shards", type=int, default=1, metavar="K",
+                   help="split each shardable offload target across up "
+                        "to K servers (default 1: classic single-server "
+                        "invocations; non-shardable targets always stay "
+                        "at 1)")
+
+
 def _add_placement_args(p) -> None:
     """Placement-layer knobs shared by the fleet/report subcommands
     (docs/placement.md).  All defaults reproduce the historical
@@ -628,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--network", default="802.11ac",
                    help=f"one of {sorted(NETWORKS)}")
+    _add_parallel_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -647,6 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the timeline to these event categories")
     p.add_argument("--capacity", type=int, default=262_144,
                    help="trace ring-buffer capacity (events)")
+    _add_parallel_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_trace)
 
@@ -685,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the fleet summary as JSON")
     p.add_argument("--jsonl", metavar="PATH",
                    help="write the merged fleet trace as JSON Lines")
+    _add_parallel_args(p)
     _add_placement_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_fleet)
@@ -735,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet execution engine for live runs "
                         f"(default {DEFAULT_ENGINE!r}; 'lockstep' is "
                         "deprecated)")
+    _add_parallel_args(p)
     _add_placement_args(p)
     _add_fault_args(p)
     p.set_defaults(func=cmd_report)

@@ -29,8 +29,8 @@ Four engines ship (docs/placement.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,39 @@ class DecisionEngine:
     def select(self, candidates: Sequence[Candidate],
                request: PlacementRequest) -> Optional[Candidate]:
         raise NotImplementedError
+
+    def select_gang(self, candidates: Sequence[Candidate],
+                    request: PlacementRequest,
+                    shards: int) -> List[Candidate]:
+        """Place up to ``shards`` gang members for one scatter/gather
+        plan (docs/parallel-offload.md) over zero-wait candidates.
+
+        The default derives gang placement from ``select``: repeatedly
+        pick the engine's best candidate, decrementing that server's
+        free-slot count between picks, until the gang is full, the pool
+        runs out of free slots, or the engine refuses — ending the gang
+        early degrades the plan to fewer shards, never to a partial
+        deadlock.  Deterministic because ``select`` is.  A returned
+        member may name the same server several times; the pool maps
+        each pick to a distinct free slot."""
+        members: List[Candidate] = []
+        live = list(candidates)
+        while len(members) < shards and live:
+            chosen = self.select(live, request)
+            if chosen is None:
+                break
+            members.append(chosen)
+            remaining = []
+            for candidate in live:
+                if candidate is chosen:
+                    if candidate.free_slots > 1:
+                        remaining.append(replace(
+                            candidate,
+                            free_slots=candidate.free_slots - 1))
+                else:
+                    remaining.append(candidate)
+            live = remaining
+        return members
 
 
 class FifoEngine(DecisionEngine):

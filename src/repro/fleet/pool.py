@@ -137,6 +137,10 @@ class ServerStats:
     queue_delay_total: float = 0.0  # sum of admitted waits
     queued_admissions: int = 0      # admissions that had to wait
     max_queue_depth: int = 0        # peak waiting invocations
+    # Admissions that were members of a scatter/gather gang
+    # (docs/parallel-offload.md) — a subset of ``admitted``, surfaced
+    # in servers_detail so shard fan-out is visible per server.
+    shard_admissions: int = 0
 
     def utilization(self, horizon_s: float, capacity: int) -> float:
         if horizon_s <= 0.0:
@@ -262,6 +266,87 @@ class ServerPool:
                          tier=server.spec.tier,
                          deadline_s=deadline_s, priority=priority)
 
+    def admit_gang(self, target_name: str, arrival_t: float,
+                   shards: int, priority: bool = False,
+                   deadline_s: Optional[float] = None,
+                   ) -> Union[List[Admission], Rejection]:
+        """Atomically place up to ``shards`` gang members for one
+        scatter/gather plan (docs/parallel-offload.md).
+
+        All-or-degrade-to-fewer: only slots free *now* are eligible —
+        a queued shard would serialize the plan behind another device's
+        invocation, so gang members never wait — and servers whose spec
+        carries a network override are excluded (the session has one
+        link; a plan cannot speak two).  Fewer free slots than shards
+        means a smaller gang; none at all degrades to a classic
+        ``admit`` (which may queue or reject).  Partial admission can
+        never deadlock: every granted member holds a slot that was free
+        at ``arrival_t``, so no member ever waits on another.
+        """
+        if shards <= 1:
+            outcome = self.admit(target_name, arrival_t,
+                                 priority=priority,
+                                 deadline_s=deadline_s)
+            return outcome if isinstance(outcome, Rejection) else [outcome]
+        if self._outstanding:
+            raise RuntimeError(
+                "admit_gang() with an unreleased admission outstanding "
+                "— requests must be served in discrete-event order "
+                "(docs/fleet.md, 'Scheduling model')")
+        free_idx: Dict[int, List[int]] = {}
+        candidates: List[Candidate] = []
+        for server in self._servers:
+            if not server.active or server.spec.network is not None:
+                continue
+            server.purge(arrival_t)
+            idxs = [i for i, busy_until in enumerate(server.slots)
+                    if busy_until <= arrival_t]
+            if not idxs:
+                continue
+            free_idx[server.id] = idxs
+            candidates.append(Candidate(
+                server_id=server.id, wait=0.0, free_slots=len(idxs),
+                queue_len=len(server.pending_starts),
+                spec=server.spec, stats=server.stats,
+                slot_idx=idxs[0], server=server))
+        request = PlacementRequest(
+            target=target_name, arrival_t=arrival_t, priority=priority,
+            deadline_t=(None if deadline_s is None
+                        else arrival_t + deadline_s))
+        members = (self.engine.select_gang(candidates, request, shards)
+                   if candidates else [])
+        if not members:
+            # the degrade ladder's next rung: one classic admission
+            outcome = self.admit(target_name, arrival_t,
+                                 priority=priority,
+                                 deadline_s=deadline_s)
+            return outcome if isinstance(outcome, Rejection) else [outcome]
+        admissions: List[Admission] = []
+        for member in members:
+            server = member.server
+            idxs = free_idx.get(server.id)
+            if not idxs:
+                continue    # a custom engine over-placed; ignore it
+            slot_idx = idxs.pop(0)
+            server.slots[slot_idx] = arrival_t  # resolved by release()
+            stats = server.stats
+            stats.admitted += 1
+            stats.shard_admissions += 1
+            self._outstanding += 1
+            admissions.append(Admission(
+                server_id=server.id, queue_seconds=0.0,
+                start_s=arrival_t,
+                token=(server.id, slot_idx, arrival_t),
+                speed=server.spec.speed, network=None,
+                tier=server.spec.tier,
+                deadline_s=deadline_s, priority=priority))
+        if not admissions:
+            outcome = self.admit(target_name, arrival_t,
+                                 priority=priority,
+                                 deadline_s=deadline_s)
+            return outcome if isinstance(outcome, Rejection) else [outcome]
+        return admissions
+
     def release(self, admission: Admission, end_t: float) -> None:
         """The admitted invocation finished at global ``end_t``."""
         server_id, slot_idx, start = admission.token
@@ -335,6 +420,7 @@ class ServerPool:
                 "capacity": server.spec.capacity,
                 "active": server.active,
                 "admitted": s.admitted,
+                "shard_admissions": s.shard_admissions,
                 "rejected": s.rejected,
                 "busy_seconds": s.busy_seconds,
                 "queue_delay_s": s.queue_delay_total,

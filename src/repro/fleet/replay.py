@@ -94,6 +94,28 @@ class OutcomeProjection:
         return Rejection(estimated_wait_s=self.estimated_wait_s)
 
 
+@dataclass(frozen=True)
+class GangProjection:
+    """The session-visible part of one gang admission (k >= 2 members)
+    granted to a scatter/gather plan (docs/parallel-offload.md).
+
+    A tuple of per-member projections: sessions read exactly the same
+    fields of each member they read of a single admission, so replaying
+    the members verbatim replays the plan exactly.  Hashable, so gang
+    outcomes key the :class:`SegmentCache` like any other outcome.
+    """
+
+    members: Tuple[OutcomeProjection, ...]
+
+    @classmethod
+    def of(cls, admissions) -> "GangProjection":
+        return cls(members=tuple(OutcomeProjection.of(a)
+                                 for a in admissions))
+
+    def materialize(self) -> List[Admission]:
+        return [m.materialize() for m in self.members]
+
+
 class SegmentBoundary(BaseException):
     """Raised inside a replayed session at the first unscripted
     admission request — the signal that the segment is over.
@@ -104,10 +126,14 @@ class SegmentBoundary(BaseException):
     being mistaken for a guest-program error.
     """
 
-    def __init__(self, target_name: str, now_s: float):
-        super().__init__(target_name, now_s)
+    def __init__(self, target_name: str, now_s: float, shards: int = 1):
+        super().__init__(target_name, now_s, shards)
         self.target_name = target_name
         self.now_s = now_s
+        # >1 when the unscripted request was a gang admission for a
+        # scatter/gather plan — the scheduler must ask the real pool
+        # for the same gang width when it serves this request.
+        self.shards = shards
 
 
 class ScriptedDispatcher(OffloadDispatcher):
@@ -124,6 +150,7 @@ class ScriptedDispatcher(OffloadDispatcher):
         self._script = script
         self._cursor = 0
         self._admissions_granted = 0
+        self._last_grant_size = 0
         self.release_times: List[float] = []
 
     def admit(self, target_name: str, now_s: float):
@@ -133,10 +160,35 @@ class ScriptedDispatcher(OffloadDispatcher):
         self._cursor += 1
         if outcome.admitted:
             self._admissions_granted += 1
+            self._last_grant_size = 1
         return outcome.materialize()
+
+    def admit_gang(self, target_name: str, now_s: float, shards: int):
+        if self._cursor >= len(self._script):
+            raise SegmentBoundary(target_name, now_s, shards=shards)
+        outcome = self._script[self._cursor]
+        self._cursor += 1
+        if isinstance(outcome, GangProjection):
+            members = outcome.materialize()
+            self._admissions_granted += len(members)
+            self._last_grant_size = len(members)
+            return members
+        if outcome.admitted:
+            # the pool degraded the gang to one classic admission
+            self._admissions_granted += 1
+            self._last_grant_size = 1
+            return [outcome.materialize()]
+        return outcome.materialize()   # a Rejection
 
     def release(self, admission: Admission, now_s: float) -> None:
         self.release_times.append(now_s)
+
+    def _check_balanced(self) -> None:
+        if len(self.release_times) != self._admissions_granted:
+            raise RuntimeError(
+                "replayed session ended with an unreleased admission "
+                f"({len(self.release_times)} releases for "
+                f"{self._admissions_granted} admissions)")
 
     @property
     def last_release_t(self) -> Optional[float]:
@@ -144,12 +196,18 @@ class ScriptedDispatcher(OffloadDispatcher):
         (None when the script is empty or ends in a rejection)."""
         if not self._admissions_granted:
             return None
-        if len(self.release_times) != self._admissions_granted:
-            raise RuntimeError(
-                "replayed session ended with an unreleased admission "
-                f"({len(self.release_times)} releases for "
-                f"{self._admissions_granted} admissions)")
+        self._check_balanced()
         return self.release_times[-1]
+
+    @property
+    def last_release_ts(self) -> Optional[Tuple[float, ...]]:
+        """Session-local release times of the final grant's members —
+        one per gang member, in grant order (a plan releases all its
+        admissions at the same session-local instant)."""
+        if not self._admissions_granted or not self._last_grant_size:
+            return None
+        self._check_balanced()
+        return tuple(self.release_times[-self._last_grant_size:])
 
 
 @dataclass
@@ -168,6 +226,11 @@ class Segment:
     local_t: Optional[float] = None
     result: Optional[SessionResult] = None
     release_local_t: Optional[float] = None
+    # Gang-admission extensions (docs/parallel-offload.md): the width
+    # of the gang the boundary request asked for (1 = classic), and the
+    # per-member release times of the script's final grant.
+    shards: int = 1
+    release_local_ts: Optional[Tuple[float, ...]] = None
 
     @property
     def done(self) -> bool:
@@ -231,9 +294,12 @@ def run_segment(spec: DeviceSpec,
     except SegmentBoundary as boundary:
         return Segment(target=boundary.target_name,
                        local_t=boundary.now_s,
-                       release_local_t=dispatcher.last_release_t)
+                       shards=boundary.shards,
+                       release_local_t=dispatcher.last_release_t,
+                       release_local_ts=dispatcher.last_release_ts)
     return Segment(result=result,
-                   release_local_t=dispatcher.last_release_t)
+                   release_local_t=dispatcher.last_release_t,
+                   release_local_ts=dispatcher.last_release_ts)
 
 
 class SegmentCache:

@@ -51,7 +51,8 @@ from .events import (ADMISSION_REQUEST, ARRIVAL, AUTOSCALE, COMPLETION,
                      TRANSITIONS, DeviceState)
 from .lockstep import LockstepFleetScheduler
 from .pool import ServerPool
-from .replay import OutcomeProjection, Segment, SegmentCache
+from .replay import (GangProjection, OutcomeProjection, Segment,
+                     SegmentCache)
 from .result import DeviceOutcome, FleetResult
 from .spec import DeviceSpec, arrival_offsets  # noqa: F401  (re-export)
 
@@ -82,7 +83,7 @@ class _DeviceProcess:
     """One device's live state inside the event loop."""
 
     __slots__ = ("index", "spec", "offset", "state", "script",
-                 "pending_target", "result")
+                 "pending_target", "pending_shards", "result")
 
     def __init__(self, index: int, spec: DeviceSpec):
         self.index = index
@@ -91,6 +92,7 @@ class _DeviceProcess:
         self.state = DeviceState.IDLE
         self.script: Tuple[OutcomeProjection, ...] = ()
         self.pending_target: Optional[str] = None
+        self.pending_shards = 1
         self.result = None
 
     def transition(self, to: DeviceState) -> None:
@@ -183,20 +185,46 @@ class FleetScheduler:
         """Serve one admission request: the only point where a device
         touches shared state, in exactly the lockstep order —
         admit(k), then release(k) before anyone else's admit."""
-        outcome = self.pool.admit(p.pending_target, t,
-                                  priority=p.spec.priority,
-                                  deadline_s=p.spec.deadline_s)
+        if p.pending_shards > 1:
+            # A scatter/gather plan asks for a gang of zero-wait slots
+            # (docs/parallel-offload.md); the pool may degrade it.
+            outcome = self.pool.admit_gang(p.pending_target, t,
+                                           p.pending_shards,
+                                           priority=p.spec.priority,
+                                           deadline_s=p.spec.deadline_s)
+        else:
+            outcome = self.pool.admit(p.pending_target, t,
+                                      priority=p.spec.priority,
+                                      deadline_s=p.spec.deadline_s)
         if self.autoscaler is not None:
-            self.autoscaler.observe(t, outcome)
+            if isinstance(outcome, list):
+                for member in outcome:
+                    self.autoscaler.observe(t, member)
+            else:
+                self.autoscaler.observe(t, outcome)
         p.pending_target = None
-        p.script = p.script + (OutcomeProjection.of(outcome),)
+        p.pending_shards = 1
+        if isinstance(outcome, list) and len(outcome) > 1:
+            projection = GangProjection.of(outcome)
+        elif isinstance(outcome, list):
+            projection = OutcomeProjection.of(outcome[0])
+        else:
+            projection = OutcomeProjection.of(outcome)
+        p.script = p.script + (projection,)
         segment = self._advance(p, queue)
-        if isinstance(outcome, Admission):
+        admitted = (outcome if isinstance(outcome, list)
+                    else [outcome] if isinstance(outcome, Admission)
+                    else [])
+        if len(admitted) == 1:
             # The replay observed the session-local instant the slot
             # was handed back; apply it to the real pool now, so the
             # next admit (any device) sees fully-resolved slot times.
-            self.pool.release(outcome,
+            self.pool.release(admitted[0],
                               p.offset + segment.release_local_t)
+        elif admitted:
+            for member, release_t in zip(admitted,
+                                         segment.release_local_ts):
+                self.pool.release(member, p.offset + release_t)
 
     def _advance(self, p: _DeviceProcess, queue: EventQueue) -> Segment:
         """Advance the device to its next admission request or to
@@ -211,6 +239,7 @@ class FleetScheduler:
             p.transition(DeviceState.EXECUTING)
             p.transition(DeviceState.REQUESTING)
             p.pending_target = segment.target
+            p.pending_shards = segment.shards
             queue.push(p.offset + segment.local_t, p.index,
                        ADMISSION_REQUEST)
         return segment
@@ -235,6 +264,12 @@ def make_scheduler(devices: List[DeviceSpec], pool: ServerPool,
             raise ValueError(
                 "the lockstep engine does not support an autoscaler; "
                 "use the event engine (docs/placement.md)")
+        if any(spec.options is not None and spec.options.shards > 1
+               for spec in devices):
+            raise ValueError(
+                "the lockstep engine does not support scatter/gather "
+                "plans (shards > 1); use the event engine "
+                "(docs/parallel-offload.md)")
         _warn_lockstep_deprecated()
         return LockstepFleetScheduler(devices, pool)
     raise ValueError(

@@ -63,9 +63,14 @@ class PartitionResult:
 
 
 def partition(module: Module, target_names: List[str],
-              target_kinds: Optional[Dict[str, str]] = None
+              target_kinds: Optional[Dict[str, str]] = None,
+              server_roots: Optional[List[str]] = None
               ) -> PartitionResult:
-    """Split a unified module into mobile and server partitions."""
+    """Split a unified module into mobile and server partitions.
+
+    ``server_roots`` names extra functions the server partition must keep
+    even though no target calls them — the scatter/gather shard wrappers
+    the runtime invokes directly."""
     kinds = target_kinds or {}
     targets = [OffloadTarget(i + 1, name, kinds.get(name, "function"))
                for i, name in enumerate(sorted(target_names))]
@@ -73,8 +78,8 @@ def partition(module: Module, target_names: List[str],
     server = module.clone(f"{module.name}.server")
     for target in targets:
         _install_mobile_stub(mobile, target)
-    removed = _remove_unused_server_functions(server,
-                                              [t.name for t in targets])
+    removed = _remove_unused_server_functions(
+        server, [t.name for t in targets] + sorted(server_roots or []))
     return PartitionResult(mobile_module=mobile, server_module=server,
                            targets=targets,
                            removed_server_functions=removed)

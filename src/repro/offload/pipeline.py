@@ -28,6 +28,7 @@ from .outline import OutliningError, can_outline, outline_loop
 from .partition import PartitionResult, partition
 from .selector import Candidate, SelectionResult, TargetSelector
 from .server_opt import (apply_function_pointer_mapping, apply_remote_io)
+from .shard import SHARD_PREFIX, ShardSpec, analyze_shard_targets
 from .unify import UnificationReport, unify_memory
 
 
@@ -75,6 +76,10 @@ class OffloadProgram:
     remote_io_sites: int = 0
     fn_ptr_sites: int = 0
     outlined_loops: List[str] = field(default_factory=list)
+    # Scatter/gather support (docs/parallel-offload.md): per-target range
+    # wrappers for data-parallel targets, and why the rest were refused.
+    shard_specs: Dict[str, ShardSpec] = field(default_factory=dict)
+    shard_refusals: Dict[str, str] = field(default_factory=dict)
 
     @property
     def targets(self):
@@ -85,10 +90,14 @@ class OffloadProgram:
 
     def statistics(self) -> Dict[str, object]:
         """Static per-program statistics — the left half of Table 4."""
+        # Generated shard wrappers are scaffolding, not program functions;
+        # keeping them out preserves the Table 4 figures at any shard count.
         server_defined = sum(
-            1 for f in self.server_module.defined_functions())
+            1 for f in self.server_module.defined_functions()
+            if not f.name.startswith(SHARD_PREFIX))
         mobile_defined = sum(
-            1 for f in self.mobile_module.defined_functions())
+            1 for f in self.mobile_module.defined_functions()
+            if not f.name.startswith(SHARD_PREFIX))
         return {
             "program": self.name,
             "offloaded_functions": server_defined,
@@ -143,7 +152,16 @@ class NativeOffloaderCompiler:
             enable_global_realloc=opts.enable_global_realloc,
             enable_layout_realignment=opts.enable_layout_realignment)
 
-        result = partition(work, target_names, target_kinds)
+        # Shard analysis runs on the unified module so the range wrappers
+        # are cloned into *both* partitions: the server executes them, the
+        # mobile replays straggler shards locally.  Wrappers are appended
+        # after every existing function, keeping k=1 byte-identical.
+        shard_specs, shard_refusals = analyze_shard_targets(
+            work, target_names)
+
+        result = partition(work, target_names, target_kinds,
+                           server_roots=[spec.wrapper
+                                         for spec in shard_specs.values()])
 
         remote_io_sites = 0
         if opts.enable_remote_io:
@@ -168,6 +186,8 @@ class NativeOffloaderCompiler:
             remote_io_sites=remote_io_sites,
             fn_ptr_sites=fn_ptr_sites,
             outlined_loops=outlined,
+            shard_specs=shard_specs,
+            shard_refusals=shard_refusals,
         )
 
     # -- helpers ----------------------------------------------------------

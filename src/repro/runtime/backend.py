@@ -50,6 +50,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from ..machine.interpreter import Interpreter
 from ..offload.partition import OffloadTarget
+from ..offload.shard import contiguous_ranges
 from .transport import LinkDownError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -93,6 +94,16 @@ class InvocationRecord:
     tier: Optional[str] = None
     deadline_s: Optional[float] = None
     priority: bool = False
+    # Scatter/gather plan accounting (docs/parallel-offload.md): how
+    # many index-range shards served the invocation, which servers they
+    # landed on, the iteration count each carried, the parallel wall
+    # time the mobile actually waited (max surviving shard), and how
+    # many shards were abandoned and replayed locally.
+    shards: int = 1
+    shard_servers: Optional[List[int]] = None
+    shard_sizes: Optional[List[int]] = None
+    shard_wall_seconds: float = 0.0
+    stragglers: int = 0
 
     @property
     def traffic_bytes(self) -> int:
@@ -135,6 +146,12 @@ class Rejection:
     estimated_wait_s: float = 0.0  # the wait the job would have faced
 
 
+def _signed32(value: int) -> int:
+    """A machine-word argument register as the i32 loop bound it is."""
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
 class OffloadDispatcher:
     """Where :class:`RemoteBackend` asks for a server.
 
@@ -148,6 +165,20 @@ class OffloadDispatcher:
     def admit(self, target_name: str, now_s: float):
         raise NotImplementedError
 
+    def admit_gang(self, target_name: str, now_s: float, shards: int):
+        """Ask for up to ``shards`` zero-wait slots for one
+        scatter/gather plan (docs/parallel-offload.md).
+
+        Returns a list of admissions — possibly fewer than requested,
+        the degrade-to-fewer ladder — or a :class:`Rejection`.  The
+        default degrades straight to a single classic admission, so
+        dispatchers that predate plans behave exactly as before.
+        """
+        outcome = self.admit(target_name, now_s)
+        if isinstance(outcome, Rejection):
+            return outcome
+        return [outcome]
+
     def release(self, admission: Admission, now_s: float) -> None:
         raise NotImplementedError
 
@@ -157,6 +188,13 @@ class DirectDispatcher(OffloadDispatcher):
 
     def admit(self, target_name: str, now_s: float) -> Admission:
         return Admission(server_id=0, queue_seconds=0.0, start_s=now_s)
+
+    def admit_gang(self, target_name: str, now_s: float,
+                   shards: int) -> List[Admission]:
+        # The dedicated server runs every shard itself; the plan's
+        # speedup model is k slots of the same machine.
+        return [Admission(server_id=0, queue_seconds=0.0, start_s=now_s)
+                for _ in range(shards)]
 
     def release(self, admission: Admission, now_s: float) -> None:
         pass
@@ -263,14 +301,54 @@ class RemoteBackend(ExecutionBackend):
         bytes_m0 = comm_before.bytes_to_mobile
         faults0 = session.uva.stats.cod_faults
 
-        # ---- admission (fleet only) -------------------------------
+        # ---- scatter/gather plan gating ---------------------------
+        # A shardable target with shards > 1 requested asks for a gang
+        # of zero-wait slots and scatters its index range across them
+        # (docs/parallel-offload.md).  Every other outcome — target not
+        # shardable, trip count too small, gang degraded to one slot —
+        # falls through to the classic single-server path below, which
+        # keeps k=1 byte-identical to the pre-plan protocol.
         admission: Optional[Admission] = None
-        if self.dispatcher is not None:
+        plan = self._plan_shards(target, args)
+        if plan is not None:
+            spec, trip = plan
+            k = min(opts.shards, trip)
+            if self.dispatcher is None:
+                gang = [Admission(server_id=0, queue_seconds=0.0,
+                                  start_s=session.now())
+                        for _ in range(k)]
+            else:
+                gang = self.dispatcher.admit_gang(target.name,
+                                                  session.now(), k)
+            if isinstance(gang, Rejection):
+                return self._rejected(target, interp, args, record, gang)
+            members = None
+            if len(gang) >= 2:
+                sizes = session.estimator.plan_shard_sizes(trip, gang)
+                members = []
+                for adm, rng in zip(gang,
+                                    contiguous_ranges(spec.iv_init,
+                                                      sizes)):
+                    if rng[1] > rng[0]:
+                        members.append((adm, rng))
+                    else:
+                        # a zero share: hand the slot straight back
+                        self._release(adm)
+                if len(members) < 2:
+                    gang = [m[0] for m in members]
+                    members = None
+            if members is not None:
+                return self._plan_protocol(target, interp, args, record,
+                                           spec, members, bytes_s0,
+                                           bytes_m0, faults0)
+            admission = gang[0]
+        elif self.dispatcher is not None:
             outcome = self.dispatcher.admit(target.name, session.now())
             if isinstance(outcome, Rejection):
                 return self._rejected(target, interp, args, record,
                                       outcome)
             admission = outcome
+        if admission is not None:
             record.server_id = admission.server_id
             record.tier = admission.tier
             record.deadline_s = admission.deadline_s
@@ -499,6 +577,345 @@ class RemoteBackend(ExecutionBackend):
         self._release(admission)
         return result
 
+    # -- scatter/gather plans (docs/parallel-offload.md) ---------------
+    def _plan_shards(self, target: OffloadTarget, args: List):
+        """The ``(spec, trip_count)`` of a scatterable invocation, or
+        None to degrade to the classic single-server path: the target
+        was not proven shardable at compile time, the session did not
+        ask for shards, or the runtime trip count is too small to
+        split."""
+        session = self.session
+        if session.options.shards <= 1:
+            return None
+        spec = session.program.shard_specs.get(target.name)
+        if spec is None:
+            return None
+        trip = spec.static_trip_count()
+        if trip is None:
+            if spec.bound_global is not None:
+                addr = session.mobile.address_of_global(spec.bound_global)
+                bound = int.from_bytes(
+                    session.mobile.memory.read(addr, 4), "little",
+                    signed=True)
+            else:
+                bound = _signed32(int(args[spec.bound_arg]))
+            trip = max(0, bound - spec.iv_init)
+        if trip < 2:
+            return None
+        return spec, trip
+
+    def _plan_protocol(self, target: OffloadTarget, interp: Interpreter,
+                       args: List, record: InvocationRecord,
+                       spec, members, bytes_s0: int, bytes_m0: int,
+                       faults0: int):
+        """One invocation as k index-range shards: scatter, per-shard
+        server execution, straggler replay, gather-and-merge.
+
+        Every shard runs the compile-time ``__no_shard_`` wrapper over
+        its own ``[lo, hi)`` slice of the loop's index range.  The
+        shards of a plan share the invocation's read-only pages through
+        the ordinary UVA copy-on-demand machinery and write disjoint
+        index ranges (the shard analysis proves stores are affine in
+        the induction variable), so their dirty deltas merge without
+        conflict at gather time.  The mobile device charges scatter
+        once, waits through the *slowest surviving* shard (that is the
+        whole speedup), receives every CoD transfer and the gathered
+        deltas, and replays abandoned shards locally on the mobile copy
+        of the wrapper.  Shardable targets cannot call, so there is no
+        remote I/O, no function-pointer window and no allocator state
+        to pull back — the gather carries dirty pages and a termination
+        record only."""
+        session = self.session
+        opts = session.options
+        zero = opts.zero_overhead
+        tr = session.tracer
+        admissions = [m[0] for m in members]
+        ranges = [m[1] for m in members]
+        k = len(members)
+        record.shards = k
+        record.shard_servers = [a.server_id for a in admissions]
+        record.shard_sizes = [hi - lo for lo, hi in ranges]
+
+        io_snapshot = (session.mobile.io.snapshot()
+                       if session._faulty else None)
+        if tr.enabled:
+            prefetch_pages0 = session.uva.stats.prefetched_pages
+
+        # ---- scatter ----------------------------------------------
+        # One batched message carries the page table, the allocator
+        # state, the prefetched pages and one offload request per
+        # shard (target id, stack pointer, argument registers plus the
+        # shard's [lo, hi) bounds).  The simulated link is a single
+        # medium, so the scatter is broadcast-priced: shards on
+        # different servers still share the one uplink.
+        session.uva.begin_invocation(target.name)
+        comm_phase0 = session.comm.stats.comm_seconds
+        session.comm.begin_batch(to_server=True)
+        try:
+            scatter_s = session.uva.synchronize_page_table()
+            scatter_s += session.uva.push_allocator_state()
+            if opts.enable_prefetch:
+                scatter_s += session.uva.prefetch(
+                    session._prefetch_pages(target.name, interp.sp))
+            request = (32 + 16 * (len(args) + 2)) * k
+            scatter_s += session.comm.send_to_server(
+                [b"\x00" * request]).seconds
+            scatter_s += session.comm.flush_batch().seconds
+        except LinkDownError:
+            return self._abort(
+                target, interp, args, record, "scatter",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "transmit", io_snapshot, admissions)
+        if zero:
+            scatter_s = 0.0
+        record.init_seconds = scatter_s
+        if tr.enabled:
+            tr.emit("offload.scatter", target.name, dur=scatter_s,
+                    shards=k,
+                    ranges=[list(rng) for rng in ranges],
+                    prefetch_pages=(session.uva.stats.prefetched_pages
+                                    - prefetch_pages0),
+                    bytes_to_server=(session.comm.stats.bytes_to_server
+                                     - bytes_s0),
+                    args=len(args))
+            tr.metrics.counter("offload.invocations").inc()
+            tr.metrics.counter("offload.plans").inc()
+            tr.metrics.histogram("offload.init_seconds").observe(
+                scatter_s)
+        session._advance(scatter_s, "transmit",
+                         session.meter.transmit_power(
+                             0.9, session.network.slow))
+
+        # ---- per-shard server execution ---------------------------
+        # The simulator has one server Machine; shard executions run on
+        # it sequentially and the parallel wall time is reconstructed
+        # analytically below (max over surviving shards).  Each shard's
+        # dirty pages are captured and staged between executions so the
+        # shards never observe each other's writes — exactly the
+        # isolation k independent servers would give.
+        injected = frozenset(opts.shard_faults or ())
+        wrapper_fn = session.server.module.function(spec.wrapper)
+        comm_phase0 = session.comm.stats.comm_seconds
+        executions: List[Optional[dict]] = []
+        server_interp: Optional[Interpreter] = None
+        admission: Optional[Admission] = None
+        try:
+            for index, (admission, (lo, hi)) in enumerate(members):
+                if index in injected:
+                    # injected shard fault: this server never answered
+                    executions.append(None)
+                    server_interp = None
+                    continue
+                session.server.memory.clear_dirty()
+                server_interp = Interpreter(
+                    session.server,
+                    max_instructions=opts.max_instructions)
+                session._current_server_interp = server_interp
+                cod_before = session.uva.stats.cod_seconds
+                faults_before = session.uva.stats.cod_faults
+                server_interp.call_function(wrapper_fn,
+                                            list(args) + [lo, hi])
+                session._current_server_interp = None
+                session.server_instructions += (
+                    server_interp.instruction_count)
+                exec_s = server_interp.time_seconds
+                if admission.speed != 1.0:
+                    exec_s /= admission.speed
+                cap_idx, payloads = session.uva.capture_shard_writeback()
+                executions.append({
+                    "exec": exec_s,
+                    "instructions": server_interp.instruction_count,
+                    "cod": (0.0 if zero
+                            else session.uva.stats.cod_seconds
+                            - cod_before),
+                    "faults": (session.uva.stats.cod_faults
+                               - faults_before),
+                    "capture": cap_idx,
+                    "payloads": payloads,
+                })
+        except LinkDownError:
+            # A CoD fault hit a dead link mid-shard.  Every shard
+            # executed so far — including the partial one — is real
+            # server work the mobile waited through in parallel: charge
+            # the max as wall time, account the sum as server compute,
+            # and report the overlap so the trace buckets reconcile.
+            session._current_server_interp = None
+            executed = [e["exec"] for e in executions if e]
+            if server_interp is not None:
+                partial = server_interp.time_seconds
+                if admission is not None and admission.speed != 1.0:
+                    partial /= admission.speed
+                session.server_instructions += (
+                    server_interp.instruction_count)
+                executed.append(partial)
+            total_exec = sum(executed)
+            wall = max(executed, default=0.0)
+            record.server_seconds = total_exec
+            record.shard_wall_seconds = wall
+            session.server_compute_seconds += total_exec
+            if not zero:
+                session._advance(wall, "wait")
+            return self._abort(
+                target, interp, args, record, "exec",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot, admissions,
+                overlap_seconds=max(total_exec - wall, 0.0))
+
+        # ---- straggler decision -----------------------------------
+        # A shard is a straggler when its fault was injected or when it
+        # ran longer than straggler_factor x the fastest shard.  Its
+        # captured delta is discarded (never applied, never priced) and
+        # its index range is replayed locally after the merge; a *late*
+        # straggler's server time is wasted work, not wall time.
+        done = [e["exec"] for e in executions if e]
+        fastest = min(done) if done else 0.0
+        factor = opts.straggler_factor
+        stragglers = []
+        for index, entry in enumerate(executions):
+            if entry is None:
+                stragglers.append(index)
+            elif factor > 0.0 and entry["exec"] > factor * fastest:
+                stragglers.append(index)
+        straggler_set = frozenset(stragglers)
+        for index in stragglers:
+            entry = executions[index]
+            if entry is not None:
+                session.uva.discard_shard_writeback(entry["capture"])
+                record.wasted_seconds += entry["exec"]
+        record.stragglers = len(stragglers)
+        survivors = [i for i in range(k) if i not in straggler_set]
+
+        # ---- survivors become the invocation's server compute -----
+        wall_wait = 0.0
+        server_total = 0.0
+        cod_total = 0.0
+        for index in survivors:
+            entry = executions[index]
+            wall_wait = max(wall_wait, entry["exec"])
+            server_total += entry["exec"]
+        for entry in executions:
+            if entry is not None:
+                cod_total += entry["cod"]
+        overlap = max(server_total - wall_wait, 0.0)
+        session.server_compute_seconds += server_total
+        record.server_seconds = server_total
+        record.cod_seconds = cod_total
+        record.shard_wall_seconds = wall_wait
+        if tr.enabled:
+            for index in survivors:
+                entry = executions[index]
+                lo, hi = ranges[index]
+                tr.emit("offload.exec", target.name, dur=entry["exec"],
+                        shard=index, lo=lo, hi=hi,
+                        server=admissions[index].server_id,
+                        instructions=entry["instructions"],
+                        cod_faults=entry["faults"],
+                        cod_seconds=entry["cod"])
+                tr.metrics.histogram("offload.server_seconds").observe(
+                    entry["exec"])
+
+        # ---- gather ----------------------------------------------
+        # One batched, compressed message per the finalize discipline:
+        # every surviving shard's staged dirty delta plus a single
+        # termination record.  Transactional exactly as finalize is —
+        # a mid-gather link death leaves mobile memory untouched and
+        # the whole target replays locally (DESIGN.md §5).
+        comm_phase0 = session.comm.stats.comm_seconds
+        session.comm.begin_batch(to_server=False)
+        gather_s = 0.0
+        try:
+            for index in survivors:
+                entry = executions[index]
+                if entry["payloads"]:
+                    gather_s += session.comm.send_to_mobile(
+                        entry["payloads"]).seconds
+            gather_s += session.comm.send_to_mobile(
+                [b"\x00" * 64]).seconds
+            gather_s += session.comm.flush_batch().seconds
+        except LinkDownError:
+            # the parallel wait already happened before the gather
+            if not zero:
+                session._advance(wall_wait, "wait")
+                session._advance(cod_total, "receive")
+            return self._abort(
+                target, interp, args, record, "gather",
+                session.comm.stats.comm_seconds - comm_phase0,
+                "receive", io_snapshot, admissions,
+                abort_server_seconds=0.0, overlap_seconds=overlap)
+        session.uva.stats.writeback_seconds += gather_s
+        if zero:
+            gather_s = 0.0
+        record.finalize_seconds = gather_s
+        # the mobile waits through the slowest surviving shard, then
+        # receives every CoD transfer and the gathered deltas
+        session._advance(wall_wait, "wait")
+        session._advance(cod_total, "receive")
+        session._advance(gather_s, "receive")
+        session.uva.commit_finalize()
+        session.uva.end_invocation()
+
+        # ---- straggler local replay -------------------------------
+        # After the survivors' deltas are merged, each abandoned index
+        # range re-executes on the mobile copy of the wrapper, charged
+        # as ordinary mobile compute (time and energy).  The replay
+        # writes the same elements a healthy shard would have, which
+        # also re-dirties those pages mobile-side — the next
+        # synchronization invalidates any stale server copy.
+        replay_total = 0.0
+        if stragglers:
+            mobile_wrapper = session.mobile.module.function(spec.wrapper)
+            for index in stragglers:
+                lo, hi = ranges[index]
+                sub = Interpreter(
+                    session.mobile, observer=interp.observer,
+                    max_instructions=opts.max_instructions)
+                sub.sp = interp.sp
+                sub.call_function(mobile_wrapper, list(args) + [lo, hi])
+                interp.charge_raw_cycles(sub.cycles)
+                session._replay_instructions += sub.instruction_count
+                replay_total += sub.time_seconds
+                if tr.enabled:
+                    tr.emit("offload.straggler", target.name,
+                            dur=sub.time_seconds,
+                            seconds=sub.time_seconds,
+                            shard=index, lo=lo, hi=hi,
+                            reason=("fault" if index in injected
+                                    else "late"),
+                            instructions=sub.instruction_count)
+                    tr.metrics.counter("offload.stragglers").inc()
+            record.local_seconds = replay_total
+
+        # offload.gather closes the invocation span; overlap_seconds
+        # is what the parallel wait saved versus serial execution and
+        # is what lets the critical-path buckets sum to charged wall.
+        if tr.enabled:
+            tr.emit("offload.gather", target.name, dur=gather_s,
+                    shards=k, survivors=len(survivors),
+                    stragglers=len(stragglers),
+                    overlap_seconds=overlap,
+                    bytes_to_mobile=(session.comm.stats.bytes_to_mobile
+                                     - bytes_m0))
+            tr.metrics.histogram("offload.finalize_seconds").observe(
+                gather_s)
+
+        record.bytes_to_server = (session.comm.stats.bytes_to_server
+                                  - bytes_s0)
+        record.bytes_to_mobile = (session.comm.stats.bytes_to_mobile
+                                  - bytes_m0)
+        record.cod_faults = session.uva.stats.cod_faults - faults0
+        if session.predictor is not None:
+            if scatter_s > 0:
+                session.predictor.observe_transfer(record.bytes_to_server,
+                                                   scatter_s)
+            if gather_s > 0:
+                session.predictor.observe_transfer(record.bytes_to_mobile,
+                                                   gather_s)
+        session.invocations.append(record)
+        session.estimator.record_offload_traffic(
+            target.name, record.traffic_bytes)
+        self._release(admissions)
+        return spec.ret_const
+
     # -- admission refused: degrade to local execution ----------------
     def _rejected(self, target: OffloadTarget, interp: Interpreter,
                   args: List, record: InvocationRecord,
@@ -540,7 +957,9 @@ class RemoteBackend(ExecutionBackend):
                args: List, record: InvocationRecord, phase: str,
                wasted_seconds: float, power_state: str,
                io_snapshot: Optional[dict],
-               admission: Optional[Admission]):
+               admission,
+               abort_server_seconds: Optional[float] = None,
+               overlap_seconds: float = 0.0):
         """The transport declared the link dead mid-invocation: discard
         every server-side effect, roll the mobile environment back to
         its pre-invocation state, charge the wasted wall time and replay
@@ -568,24 +987,40 @@ class RemoteBackend(ExecutionBackend):
             # server_seconds: partial server execution a mid-exec abort
             # already charged into server_compute_seconds — without it
             # here the trace could not reconcile that total
-            # (repro.trace.analysis.spans.validate_sessions).
-            tr.emit("offload.abort", target.name, phase=phase,
-                    wasted_seconds=wasted_seconds,
-                    server_seconds=record.server_seconds)
+            # (repro.trace.analysis.spans.validate_sessions).  A plan
+            # abort after its shards' offload.exec events were emitted
+            # overrides it to zero (the events already carry the
+            # compute) and reports the parallel overlap so the
+            # critical-path buckets still sum to charged wall.
+            payload = dict(
+                phase=phase, wasted_seconds=wasted_seconds,
+                server_seconds=(record.server_seconds
+                                if abort_server_seconds is None
+                                else abort_server_seconds))
+            if record.shards > 1:
+                payload["shards"] = record.shards
+                payload["overlap_seconds"] = overlap_seconds
+            tr.emit("offload.abort", target.name, **payload)
             tr.metrics.counter("offload.aborts").inc()
             tr.metrics.counter("offload.wasted_seconds").inc(
                 wasted_seconds)
         session.invocations.append(record)
         return session.local_backend.execute(target, interp, args, record)
 
-    def _release(self, admission: Optional[Admission]) -> None:
-        """Hand the server slot back and feed the observed queueing
+    def _release(self, admission) -> None:
+        """Hand the server slot(s) back and feed the observed queueing
         delay into the estimator (the contention feedback loop of
-        docs/fleet.md)."""
+        docs/fleet.md).  Accepts a single :class:`Admission`, a gang
+        (list of admissions — a plan releases every member at the same
+        session-local instant), or None."""
         if admission is None or self.dispatcher is None:
             return
         session = self.session
-        self.dispatcher.release(admission, session.now())
-        session.estimator.record_queue_delay(
-            admission.server_id, admission.queue_seconds,
-            speed=admission.speed)
+        members = (admission if isinstance(admission, list)
+                   else [admission])
+        now_s = session.now()
+        for member in members:
+            self.dispatcher.release(member, now_s)
+            session.estimator.record_queue_delay(
+                member.server_id, member.queue_seconds,
+                speed=member.speed)

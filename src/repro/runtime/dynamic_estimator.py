@@ -10,7 +10,7 @@ suffering a slowdown (Figure 6, the ``*`` entries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..offload.partition import OffloadTarget
 from ..profiler.profile_data import ProfileData
@@ -180,6 +180,36 @@ class DynamicPerformanceEstimator:
         if self.rejection_wait_ewma is not None:
             expected = max(expected, self.rejection_wait_ewma)
         return expected
+
+    def plan_shard_sizes(self, total_iters: int, admissions) -> List[int]:
+        """Resource-aware shard sizing for a scatter/gather plan (Elf's
+        multi-offloading scheme; docs/parallel-offload.md).
+
+        Each admitted server gets iterations proportional to its
+        effective service rate: its speed multiplier damped by the
+        queue-delay EWMA observed at that server (a saturated server is
+        expected to start late, so it gets a proportionally smaller
+        shard).  Apportionment is largest-remainder with a deterministic
+        index tie-break, so same history + same admissions => same
+        sizes.  A size may be 0 (the caller drops that shard and
+        releases its admission immediately).
+        """
+        if total_iters <= 0 or not admissions:
+            return [0 for _ in admissions]
+        weights = []
+        for admission in admissions:
+            delay = max(self.queue_delay_ewma.get(
+                admission.server_id, 0.0), 0.0)
+            weights.append(max(admission.speed, 1e-9) / (1.0 + delay))
+        total_weight = sum(weights)
+        shares = [total_iters * w / total_weight for w in weights]
+        sizes = [int(share) for share in shares]
+        remainder = total_iters - sum(sizes)
+        order = sorted(range(len(shares)),
+                       key=lambda i: (-(shares[i] - sizes[i]), i))
+        for i in order[:remainder]:
+            sizes[i] += 1
+        return sizes
 
     def expected_server_speed(self) -> float:
         """Speed multiplier of the server the next offload is expected

@@ -91,6 +91,22 @@ class SessionOptions:
     # event so one merged timeline can cover a whole fleet.
     dispatcher: Optional[OffloadDispatcher] = None
     session_id: Optional[str] = None
+    # Scatter/gather parallel offload (docs/parallel-offload.md).
+    # ``shards`` is the *desired* plan width k: a shardable target's
+    # invocation is split into up to k index-range shards scattered
+    # across servers and gathered afterwards.  1 (the default) is the
+    # paper's single-server path, byte-identical to the pre-plan
+    # runtime; non-shardable targets degrade to 1 at any setting.
+    shards: int = 1
+    # Straggler policy: a shard whose execution time exceeds
+    # ``straggler_factor`` x the fastest shard's is abandoned and
+    # replayed locally (charged to mobile time/energy).  0.0 disables
+    # lateness detection (only injected faults straggle).
+    straggler_factor: float = 0.0
+    # Fault injection for the shard-fault differential tests: shard
+    # indices in this tuple never execute server-side and are replayed
+    # locally on gather (DESIGN.md §5, shard-fault invariant).
+    shard_faults: Optional[tuple] = None
 
 
 @dataclass

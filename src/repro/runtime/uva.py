@@ -187,6 +187,14 @@ class UVAManager:
         # Staged finalization state (see commit_finalize / abort_invocation).
         self._pending_writeback: Optional[Dict[int, WritebackEntry]] = None
         self._pending_alloc_state: Optional[dict] = None
+        # Scatter/gather shard captures (docs/parallel-offload.md): one
+        # staged write-back dict per executed shard, in shard order.
+        # Commit applies them in that order — later shards ran against
+        # server memory that already held earlier shards' writes, so
+        # in-order application reproduces the sequential k=1 content
+        # byte for byte.  A discarded (straggler) capture becomes an
+        # empty dict; its writes are re-created by the local replay.
+        self._shard_writebacks: List[Dict[int, WritebackEntry]] = []
         # Cross-invocation page cache: per-page content versions on the
         # mobile side, the version of the clean base each server copy
         # corresponds to, and the versions last announced to the server
@@ -601,6 +609,53 @@ class UVAManager:
             return 0.0, 0
         return seconds, bytes_back
 
+    def capture_shard_writeback(self) -> Tuple[int, List[bytes]]:
+        """Stage one shard's dirty pages without touching the wire.
+
+        The staging half of :meth:`write_back`: snapshot the server's
+        dirty pages (delta-encoded where that beats break-even), append
+        the staged entries to the plan's ordered capture sequence, and
+        return ``(capture_index, wire_payloads)``.  The gather step
+        transmits the payloads itself; :meth:`commit_finalize` applies
+        every surviving capture in shard order."""
+        server_mem = self.server.memory
+        masks = (dict(server_mem.dirty_blocks)
+                 if self.enable_delta_transfer else {})
+        dirty = server_mem.collect_dirty_pages()
+        full_mask = server_mem.full_block_mask
+        threshold = int(self.page_size * DELTA_BREAK_EVEN)
+        payloads: List[bytes] = []
+        staged: Dict[int, WritebackEntry] = {}
+        for pidx, data in dirty.items():
+            if not self.shareable(pidx):
+                continue
+            entry: WritebackEntry = data
+            payload = data
+            if (self.enable_delta_transfer
+                    and pidx in self._server_sourced
+                    and pidx in self.mobile.memory.pages):
+                mask = masks.get(pidx, full_mask)
+                if mask != full_mask:
+                    records = self._mask_records(data, mask)
+                    if self._records_size(records) < threshold:
+                        entry = records
+                        payload = self._encode_wire(records)
+            payloads.append(payload)
+            staged[pidx] = entry
+        index = len(self._shard_writebacks)
+        self._shard_writebacks.append(staged)
+        return index, payloads
+
+    def discard_shard_writeback(self, index: int) -> None:
+        """Drop a straggler shard's capture: nothing it staged may reach
+        the mobile device.  The server's copy of those pages is left in
+        place — the straggler's local replay rewrites the same elements
+        on the mobile side, marking the pages dirty, so the next
+        synchronization bumps their versions and invalidates the
+        diverged server copies (no stale read is possible within this
+        invocation: shards never read shard-written data)."""
+        self._shard_writebacks[index] = {}
+
     def _apply_writeback(self, staged: Dict[int, WritebackEntry]) -> None:
         full: Dict[int, bytes] = {}
         bytes_back = 0
@@ -654,6 +709,11 @@ class UVAManager:
 
     def commit_finalize(self) -> None:
         """Apply staged finalization state after the transfer succeeded."""
+        if self._shard_writebacks:
+            for staged in self._shard_writebacks:
+                if staged:
+                    self._apply_writeback(staged)
+            self._shard_writebacks = []
         if self._pending_writeback is not None:
             self._apply_writeback(self._pending_writeback)
             self._pending_writeback = None
@@ -668,6 +728,9 @@ class UVAManager:
         diverged from every mobile version)."""
         staged = self._pending_writeback or {}
         dirtied = set(self.server.memory.dirty) | set(staged)
+        for shard_staged in self._shard_writebacks:
+            dirtied |= set(shard_staged)
+        self._shard_writebacks = []
         self._pending_writeback = None
         self._pending_alloc_state = None
         if self.enable_page_cache or self.enable_delta_transfer:

@@ -35,6 +35,15 @@ zero), and an invocation aborted mid-exec never emits ``offload.exec``,
 so its partial CoD traffic stays in ``comm`` as wasted transfer time
 (the partial *server execution* is recovered from the ``offload.abort``
 payload's ``server_seconds`` and books under ``server_compute``).
+
+Scatter/gather plans (docs/parallel-offload.md): each surviving shard
+emits its own ``offload.exec`` anchor, but the device only *waited*
+through the slowest one — the ``offload.gather`` (or plan
+``offload.abort``) payload's ``overlap_seconds`` is the serial-minus-
+parallel difference, subtracted from ``server_compute`` so the buckets
+still sum to charged wall.  A straggler's local replay books its
+``offload.straggler`` payload seconds under ``mobile_compute``, exactly
+as a fallback replay does.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ def attribute_invocation(inv: InvocationSpan) -> CriticalPath:
     """Split one invocation span into the six critical-path buckets."""
     buckets = {name: 0.0 for name in BUCKETS}
     comm_event_seconds = 0.0
+    overlap_seconds = 0.0
     for event in inv.events():
         cat = event.category
         if cat == "offload.queue":
@@ -84,9 +94,19 @@ def attribute_invocation(inv: InvocationSpan) -> CriticalPath:
             buckets["uva"] += event.payload.get("cod_seconds", 0.0)
         elif cat == "offload.abort":
             # partial server execution before a mid-exec abort: charged
-            # wall time the device waited through
+            # wall time the device waited through (a plan abort reports
+            # the parallel overlap to subtract, like offload.gather)
             buckets["server_compute"] += event.payload.get(
                 "server_seconds", 0.0)
+            overlap_seconds += event.payload.get("overlap_seconds", 0.0)
+        elif cat == "offload.gather":
+            # the plan's shards ran in parallel: the device waited only
+            # through the slowest survivor, not the serial sum
+            overlap_seconds += event.payload.get("overlap_seconds", 0.0)
+        elif cat == "offload.straggler":
+            # an abandoned shard's index range, replayed on the device
+            buckets["mobile_compute"] += event.payload.get(
+                "seconds", 0.0)
         elif cat == "offload.fallback":
             buckets["mobile_compute"] += event.payload.get("seconds", 0.0)
         elif cat == "offload.reject":
@@ -108,6 +128,9 @@ def attribute_invocation(inv: InvocationSpan) -> CriticalPath:
     buckets["comm"] = max(
         comm_event_seconds - buckets["uva"] - buckets["retry_backoff"],
         0.0)
+    if overlap_seconds > 0.0:
+        buckets["server_compute"] = max(
+            buckets["server_compute"] - overlap_seconds, 0.0)
     return CriticalPath(target=inv.target, status=inv.status,
                         buckets=buckets)
 

@@ -76,6 +76,10 @@ def build_report(events: Sequence[TraceEvent], *,
                         "rejected", "busy_seconds", "max_queue_depth",
                         "utilization"):
                 merged[key] = row[key]
+            # Scatter/gather fan-out (docs/parallel-offload.md); absent
+            # from rows recorded before the plan refactor.
+            if "shard_admissions" in row:
+                merged["shard_admissions"] = row["shard_admissions"]
     findings = evaluate_rules(sessions, rules)
     invariant = validate_sessions(sessions, events)
     warnings: List[str] = []
@@ -319,11 +323,12 @@ def render_html(report: dict) -> str:
         # Pool-side columns (tier/speed/utilization/peak depth) exist
         # only for live fleet runs; JSONL-derived reports show "-".
         parts.append(_table(
-            ["server", "tier", "speed", "admitted", "rejected",
-             "queued admissions", "queue delay s", "busy s",
+            ["server", "tier", "speed", "admitted", "gang shards",
+             "rejected", "queued admissions", "queue delay s", "busy s",
              "utilization", "peak queue depth"],
             [[sid, row.get("tier", "-"), row.get("speed", "-"),
-              row.get("admitted", "-"), row.get("rejected", "-"),
+              row.get("admitted", "-"), row.get("shard_admissions", "-"),
+              row.get("rejected", "-"),
               row["queued_admissions"], row["queue_delay_s"],
               row.get("busy_seconds", "-"), row.get("utilization", "-"),
               row.get("max_queue_depth", "-")]

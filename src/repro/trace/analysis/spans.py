@@ -73,17 +73,24 @@ class PhaseSpan:
     def anchor_seconds(self) -> float:
         """The phase's modeled duration, from its anchor event.
 
-        ``queue``/``init``/``exec``/``finalize`` each carry exactly one
-        anchor event (``offload.queue`` / ``offload.init`` /
-        ``offload.exec`` / ``offload.finalize``) whose ``dur`` is the
-        phase's charged wall time; phases without an anchor report 0.
+        ``queue``/``init``/``exec``/``finalize`` each carry anchor
+        events (``offload.queue`` / ``offload.init`` or the plan's
+        ``offload.scatter`` / ``offload.exec`` — one per surviving
+        shard of a scatter/gather plan / ``offload.finalize`` or the
+        plan's ``offload.gather``) whose ``dur`` is the phase's charged
+        wall time; phases without an anchor report 0.  For a plan's
+        exec phase the sum over shard anchors is *serial* server time;
+        the charged wall is the max (docs/parallel-offload.md).
         """
-        anchors = {"queue": "offload.queue", "init": "offload.init",
-                   "exec": "offload.exec", "finalize": "offload.finalize"}
-        category = anchors.get(self.name)
-        if category is None:
+        anchors = {"queue": ("offload.queue",),
+                   "init": ("offload.init", "offload.scatter"),
+                   "exec": ("offload.exec",),
+                   "finalize": ("offload.finalize", "offload.gather")}
+        categories = anchors.get(self.name)
+        if categories is None:
             return 0.0
-        return sum(e.dur for e in self.events if e.category == category)
+        return sum(e.dur for e in self.events
+                   if e.category in categories)
 
 
 @dataclass
@@ -233,18 +240,26 @@ def reconstruct_session(events: Iterable[TraceEvent],
         if cat == "offload.queue":
             inv.phase("queue").events.append(event)
             continue
-        if cat == "offload.init":
+        if cat in ("offload.init", "offload.scatter"):
+            # offload.scatter is the plan's init anchor
+            # (docs/parallel-offload.md)
             inv.phase("init").events.append(event)
             phase = "exec"
             continue
         if cat == "offload.exec":
+            # A scatter/gather plan emits one exec anchor per surviving
+            # shard; each belongs to the exec phase regardless of where
+            # the phase cursor already advanced to.
             inv.phase("exec").events.append(event)
             phase = "finalize"
             continue
         if cat in _TRAILS_EXEC:
             inv.phase("exec").events.append(event)
             continue
-        if cat == "offload.finalize":
+        if cat in ("offload.finalize", "offload.gather"):
+            # offload.gather closes a plan exactly as offload.finalize
+            # closes a classic invocation; the plan's straggler-replay
+            # events (offload.straggler) precede it by construction.
             inv.phase("finalize").events.append(event)
             _close_invocation(session, inv)
             inv = None

@@ -1,0 +1,445 @@
+"""Scatter/gather parallel offload: the k-shard OffloadPlan
+(docs/parallel-offload.md).
+
+The load-bearing guarantees, in test form:
+
+* ``shards=1`` (and the default) is byte-identical to the historical
+  single-server invocation path — summary fingerprint, trace JSONL and
+  stdout all match (ISSUE 9 differential bar).
+* A non-shardable target silently stays on the classic path at any
+  ``--shards`` setting.
+* Any shard-fault schedule — injected faults, straggler abandonment —
+  still yields program output byte-identical to the k=1 run
+  (DESIGN.md §5 invariant: stragglers replay locally on the mobile).
+* Plan traces satisfy the span invariant and the critical-path buckets
+  reconcile (``server_compute`` is the parallel wall, not the serial
+  sum).
+* Gang admission is atomic all-or-degrade-to-fewer and never leaves
+  slot bookkeeping behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from conftest import HOT_KERNEL_SRC, HOT_KERNEL_STDIN, offload_c
+from repro.fleet import (DeviceSpec, PoolOptions, ServerPool, ServerSpec,
+                         behavior_key, make_scheduler)
+from repro.fleet.pool import Rejection
+from repro.frontend import compile_c
+from repro.offload import CompilerOptions, NativeOffloaderCompiler
+from repro.offload.shard import contiguous_ranges
+from repro.profiler import profile_module
+from repro.runtime import FAST_WIFI, NETWORKS, SessionOptions, run_local
+from repro.runtime.backend import Admission
+from repro.runtime.dynamic_estimator import DynamicPerformanceEstimator
+from repro.trace import write_jsonl
+from repro.trace.analysis import reconstruct_sessions, validate_sessions
+from repro.trace.analysis.critical_path import attribute_session
+
+# One flat loop, disjoint element writes, global trip count — the exact
+# shape the shard analyzer accepts.
+SHARD_SRC = r"""
+int data[2048];
+int out[2048];
+int n;
+
+void smooth(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = data[i];
+        v = v * 31 + (v >> 3);
+        out[i] = (v ^ (v >> 5)) + i;
+    }
+}
+
+int main() {
+    int i, acc = 0;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    smooth();
+    for (i = 0; i < n; i++) acc += out[i];
+    printf("sum %d\n", acc);
+    return 0;
+}
+"""
+
+FORCED = CompilerOptions(forced_targets=["smooth"])
+
+
+def _fingerprint(result) -> str:
+    """Everything the session reports, minus the unhashable carriers
+    (the trace is compared separately, byte for byte)."""
+    d = dataclasses.asdict(result)
+    for key in ("trace", "power_trace", "transport_stats", "uva_stats"):
+        d[key] = None
+    return json.dumps(d, default=str, sort_keys=True)
+
+
+def _run(stdin: bytes, options=None, src: str = SHARD_SRC):
+    return offload_c(src, stdin=stdin, compiler_options=FORCED,
+                     session_options=options)
+
+
+class TestK1Differential:
+    """shards=1 must be byte-identical to the pre-refactor path."""
+
+    def test_summary_and_stdout_fingerprints(self):
+        _, default_run, _ = _run(b"600\n")
+        _, k1_run, _ = _run(b"600\n", SessionOptions(shards=1))
+        assert _fingerprint(default_run) == _fingerprint(k1_run)
+        assert default_run.stdout == k1_run.stdout
+
+    def test_trace_jsonl_identical(self, tmp_path):
+        _, default_run, _ = _run(
+            b"600\n", SessionOptions(enable_tracing=True))
+        _, k1_run, _ = _run(
+            b"600\n", SessionOptions(enable_tracing=True, shards=1))
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(default_run.trace.events(), str(a),
+                    dropped=default_run.trace.dropped)
+        write_jsonl(k1_run.trace.events(), str(b),
+                    dropped=k1_run.trace.dropped)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_non_shardable_target_ignores_shards(self):
+        """A nested-loop kernel refuses shard analysis; any --shards
+        setting leaves its invocations byte-identical to the default."""
+        local, default_run, _ = offload_c(HOT_KERNEL_SRC,
+                                          stdin=HOT_KERNEL_STDIN)
+        _, k4_run, program = offload_c(
+            HOT_KERNEL_SRC, stdin=HOT_KERNEL_STDIN,
+            session_options=SessionOptions(shards=4))
+        assert "crunch" not in program.shard_specs
+        assert _fingerprint(default_run) == _fingerprint(k4_run)
+        assert all(r.shards == 1 for r in k4_run.invocations)
+        assert k4_run.stdout == local.stdout
+
+
+class TestPlanExecution:
+    def test_scatter_splits_and_matches_local(self):
+        local, result, program = _run(b"600\n", SessionOptions(shards=4))
+        assert "smooth" in program.shard_specs
+        assert result.stdout == local.stdout
+        plans = [r for r in result.invocations if r.shards > 1]
+        assert len(plans) == 1
+        record = plans[0]
+        assert record.shards == 4
+        assert sum(record.shard_sizes) == 600
+        assert record.shard_sizes == [150, 150, 150, 150]
+        # the parallel wall is the slowest shard, strictly under the
+        # serial sum the same server work would have cost
+        assert 0.0 < record.shard_wall_seconds < record.server_seconds
+
+    def test_non_divisible_trip_count(self):
+        local, result, _ = _run(b"598\n", SessionOptions(shards=4))
+        record = next(r for r in result.invocations if r.shards > 1)
+        assert sum(record.shard_sizes) == 598
+        assert record.shard_sizes == [150, 150, 149, 149]
+        assert result.stdout == local.stdout
+
+    def test_trip_smaller_than_k_degrades(self):
+        # profile at n=600 so the estimator still offloads, then feed a
+        # 3-iteration run: the plan clamps k to the trip count.
+        local, result, _ = offload_c(
+            SHARD_SRC, stdin=b"3\n", profile_stdin=b"600\n",
+            compiler_options=FORCED,
+            session_options=SessionOptions(shards=8))
+        record = max(result.invocations, key=lambda r: r.shards)
+        assert record.shards == 3           # min(shards, trip)
+        assert record.shard_sizes == [1, 1, 1]
+        assert result.stdout == local.stdout
+
+    def test_trivial_trip_stays_classic(self):
+        local, result, _ = offload_c(
+            SHARD_SRC, stdin=b"1\n", profile_stdin=b"600\n",
+            compiler_options=FORCED,
+            session_options=SessionOptions(shards=4))
+        assert all(r.shards == 1 for r in result.invocations)
+        assert result.stdout == local.stdout
+
+    def test_shards_fold_into_behavior_key(self):
+        module = compile_c(SHARD_SRC, "test")
+        profile = profile_module(module, stdin=b"600\n")
+        program = NativeOffloaderCompiler(FORCED).compile(module, profile)
+        base = DeviceSpec(device_id="d", program=program,
+                          network=FAST_WIFI, stdin=b"600\n",
+                          options=SessionOptions())
+        sharded = dataclasses.replace(
+            base, options=SessionOptions(shards=4))
+        assert behavior_key(base) != behavior_key(sharded)
+
+
+class TestShardFaults:
+    """DESIGN.md §5: any shard-fault schedule is output-invariant."""
+
+    @pytest.mark.parametrize("faults", [(0,), (2,), (0, 2), (0, 1, 2, 3)])
+    def test_injected_faults_byte_identical_output(self, faults):
+        local, result, _ = _run(
+            b"600\n", SessionOptions(shards=4, shard_faults=faults))
+        assert result.stdout == local.stdout
+        record = next(r for r in result.invocations if r.shards > 1)
+        assert record.stragglers == len(faults)
+        assert record.local_seconds > 0.0
+        # the replay is charged to the mobile, not a fallback
+        assert not record.fallback_local
+
+    def test_straggler_factor_abandons_slowest(self):
+        # 601/3 -> [201, 200, 200]: shard 0 is strictly slower than the
+        # fastest, so a tight factor abandons it and replays locally.
+        local, result, _ = _run(
+            b"601\n", SessionOptions(shards=3, straggler_factor=1.001))
+        record = next(r for r in result.invocations if r.shards > 1)
+        assert record.stragglers >= 1
+        assert result.stdout == local.stdout
+
+    def test_factor_zero_disables_straggler_detection(self):
+        local, result, _ = _run(
+            b"601\n", SessionOptions(shards=3, straggler_factor=0.0))
+        record = next(r for r in result.invocations if r.shards > 1)
+        assert record.stragglers == 0
+        assert result.stdout == local.stdout
+
+
+class TestShardAnalysis:
+    """Edge cases the analyzer must refuse (falling back to k=1)."""
+
+    def test_loop_carried_dependence_refused(self):
+        local, result, program = self._carried()
+        assert "smooth" not in program.shard_specs
+        assert "loop-carried dependence" in \
+            program.shard_refusals.get("smooth", "")
+        assert all(r.shards == 1 for r in result.invocations)
+        assert result.stdout == local.stdout
+
+    def _carried(self):
+        src = r"""
+int data[2048];
+int out[2048];
+int n;
+
+void smooth(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; i++) {
+        acc = acc + data[i];
+        out[i] = acc;
+    }
+}
+
+int main() {
+    int i, total = 0;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    smooth();
+    for (i = 0; i < n; i++) total += out[i];
+    printf("sum %d\n", total);
+    return 0;
+}
+"""
+        return offload_c(src, stdin=b"600\n", compiler_options=FORCED,
+                         session_options=SessionOptions(shards=4))
+
+    def test_nested_loop_refused(self):
+        _, _, program = offload_c(HOT_KERNEL_SRC, stdin=HOT_KERNEL_STDIN,
+                                  session_options=SessionOptions(shards=2))
+        assert "crunch" not in program.shard_specs
+        assert program.shard_refusals.get("crunch")
+
+
+class TestShardSizing:
+    """Resource-aware apportionment (largest remainder, EWMA-damped)."""
+
+    def _estimator(self, ewma=None):
+        est = object.__new__(DynamicPerformanceEstimator)
+        est.queue_delay_ewma = dict(ewma or {})
+        return est
+
+    def test_equal_speeds_largest_remainder(self):
+        est = self._estimator()
+        gang = [Admission(server_id=i) for i in range(4)]
+        assert est.plan_shard_sizes(598, gang) == [150, 150, 149, 149]
+        assert est.plan_shard_sizes(600, gang) == [150, 150, 150, 150]
+
+    def test_speed_weighted(self):
+        est = self._estimator()
+        gang = [Admission(server_id=0, speed=3.0),
+                Admission(server_id=1, speed=1.0)]
+        assert est.plan_shard_sizes(400, gang) == [300, 100]
+
+    def test_queue_ewma_damps_saturated_server(self):
+        est = self._estimator({1: 1.0})   # server 1 looks saturated
+        gang = [Admission(server_id=0), Admission(server_id=1)]
+        sizes = est.plan_shard_sizes(300, gang)
+        assert sum(sizes) == 300
+        assert sizes[0] > sizes[1]
+
+    def test_zero_iterations(self):
+        est = self._estimator()
+        gang = [Admission(server_id=0), Admission(server_id=1)]
+        assert est.plan_shard_sizes(0, gang) == [0, 0]
+
+    def test_contiguous_ranges(self):
+        assert contiguous_ranges(0, [3, 3, 2]) == [(0, 3), (3, 6), (6, 8)]
+        assert contiguous_ranges(5, [2, 0, 1]) == [(5, 7), (7, 7), (7, 8)]
+
+
+class TestGangAdmission:
+    def test_gang_spreads_over_free_servers(self):
+        pool = ServerPool(PoolOptions(servers=4, capacity=1))
+        gang = pool.admit_gang("smooth", 0.0, 3)
+        assert isinstance(gang, list) and len(gang) == 3
+        assert len({a.server_id for a in gang}) == 3
+        assert all(a.queue_seconds == 0.0 for a in gang)
+        for a in gang:
+            pool.release(a, 1.0)
+        rows = pool.servers_detail(horizon_s=1.0)
+        assert sum(r["shard_admissions"] for r in rows) == 3
+
+    def test_degrades_to_free_slots(self):
+        # server busy until t=5 -> a 4-shard gang at t=1 degrades to
+        # the two genuinely free servers
+        pool = ServerPool(PoolOptions(servers=3, capacity=1))
+        held = pool.admit("other", 0.0)
+        pool.release(held, 5.0)
+        gang = pool.admit_gang("smooth", 1.0, 4)
+        assert isinstance(gang, list)
+        assert len(gang) == 2
+        assert held.server_id not in {a.server_id for a in gang}
+
+    def test_saturated_pool_falls_back_to_classic_admit(self):
+        """No slot free now -> one classic (possibly queued) admission,
+        never a deadlocked partial gang."""
+        pool = ServerPool(PoolOptions(servers=1, capacity=1,
+                                      queue_limit=2))
+        held = pool.admit("other", 0.0)
+        pool.release(held, 5.0)
+        outcome = pool.admit_gang("smooth", 1.0, 4)
+        assert isinstance(outcome, list) and len(outcome) == 1
+        assert outcome[0].queue_seconds > 0.0
+
+    def test_network_override_servers_excluded(self):
+        """Cloud-tier servers behind their own link cannot join a gang
+        (one plan, one link); the gang degrades to the edge servers."""
+        pool = ServerPool(PoolOptions(specs=(
+            ServerSpec(), ServerSpec(),
+            ServerSpec(speed=2.0, tier="cloud",
+                       network=NETWORKS["cloud-wan"]))))
+        gang = pool.admit_gang("smooth", 0.0, 3)
+        assert isinstance(gang, list) and len(gang) == 2
+        assert all(a.network is None for a in gang)
+
+    def test_slot_bookkeeping_survives_gang_cycles(self):
+        pool = ServerPool(PoolOptions(servers=2, capacity=2))
+        for cycle in range(3):
+            t = float(cycle)
+            gang = pool.admit_gang("smooth", t, 4)
+            assert len(gang) == 4
+            for a in gang:
+                pool.release(a, t + 0.5)
+        rows = pool.servers_detail(horizon_s=3.0)
+        assert sum(r["shard_admissions"] for r in rows) == 12
+
+    def test_shards_one_wraps_classic_admit(self):
+        pool = ServerPool(PoolOptions(servers=2, capacity=1))
+        outcome = pool.admit_gang("smooth", 0.0, 1)
+        assert isinstance(outcome, list) and len(outcome) == 1
+
+    def test_rejection_passthrough(self):
+        pool = ServerPool(PoolOptions(servers=1, capacity=1,
+                                      queue_limit=1))
+        a = pool.admit("other", 0.0)
+        pool.release(a, 10.0)
+        b = pool.admit("other", 1.0)     # queued: fills the queue
+        pool.release(b, 11.0)
+        outcome = pool.admit_gang("smooth", 2.0, 2)
+        assert isinstance(outcome, Rejection)
+
+
+class TestFleetGangs:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        module = compile_c(SHARD_SRC, "shard-fleet")
+        profile = profile_module(module, stdin=b"600\n")
+        program = NativeOffloaderCompiler(FORCED).compile(module, profile)
+        local = run_local(module, stdin=b"600\n")
+        return program, local
+
+    def _fleet(self, program, shards, servers=4, devices=2):
+        pool = ServerPool(PoolOptions(servers=servers, capacity=1))
+        specs = [DeviceSpec(device_id=f"dev{i}", program=program,
+                            network=FAST_WIFI, stdin=b"600\n",
+                            start_offset_s=i * 0.001,
+                            options=SessionOptions(shards=shards))
+                 for i in range(devices)]
+        return make_scheduler(specs, pool).run()
+
+    def test_event_scheduler_runs_gangs(self, compiled):
+        program, local = compiled
+        result = self._fleet(program, shards=4)
+        assert all(d.result.stdout == local.stdout
+                   for d in result.devices)
+        detail = result.summary()["servers_detail"]
+        assert sum(r["shard_admissions"] for r in detail) >= 4
+
+    def test_gang_fleet_deterministic(self, compiled):
+        program, _ = compiled
+        first = self._fleet(program, shards=4)
+        second = self._fleet(program, shards=4)
+        assert json.dumps(first.summary(), sort_keys=True) == \
+            json.dumps(second.summary(), sort_keys=True)
+
+    def test_lockstep_engine_refuses_shards(self, compiled):
+        program, _ = compiled
+        specs = [DeviceSpec(device_id="d", program=program,
+                            network=FAST_WIFI, stdin=b"600\n",
+                            options=SessionOptions(shards=2))]
+        with pytest.raises(ValueError, match="lockstep"):
+            make_scheduler(specs, ServerPool(), engine="lockstep")
+
+
+class TestPlanTraces:
+    def _traced(self, options):
+        return _run(b"600\n", options)
+
+    @pytest.mark.parametrize("options", [
+        SessionOptions(shards=4, enable_tracing=True),
+        SessionOptions(shards=4, shard_faults=(0, 2),
+                       enable_tracing=True),
+    ], ids=["plan", "plan+faults"])
+    def test_span_invariant_holds(self, options):
+        local, result, _ = self._traced(options)
+        assert result.stdout == local.stdout
+        events = result.trace.events()
+        sessions = reconstruct_sessions(events)
+        assert validate_sessions(sessions, events) == []
+        cats = {e.category for e in events}
+        assert {"offload.scatter", "offload.exec",
+                "offload.gather"} <= cats
+        if options.shard_faults:
+            assert "offload.straggler" in cats
+
+    def test_critical_path_uses_parallel_wall(self):
+        _, result, _ = self._traced(
+            SessionOptions(shards=4, enable_tracing=True))
+        record = next(r for r in result.invocations if r.shards > 1)
+        sessions = reconstruct_sessions(result.trace.events())
+        paths = [p for s in sessions for p in attribute_session(s)
+                 if p.status == "offloaded" and "smooth" in p.target]
+        assert len(paths) == 1
+        assert paths[0].buckets["server_compute"] == pytest.approx(
+            record.shard_wall_seconds)
+
+    def test_straggler_replay_books_mobile_compute(self):
+        _, result, _ = self._traced(
+            SessionOptions(shards=4, shard_faults=(1,),
+                           enable_tracing=True))
+        record = next(r for r in result.invocations if r.shards > 1)
+        sessions = reconstruct_sessions(result.trace.events())
+        paths = [p for s in sessions for p in attribute_session(s)
+                 if "smooth" in p.target]
+        assert paths[0].buckets["mobile_compute"] == pytest.approx(
+            record.local_seconds)
