@@ -665,11 +665,20 @@ def _add_fault_args(p) -> None:
                    "probability (0..1)")
 
 
+def _positive_shards(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, got {value}")
+    return value
+
+
 def _add_parallel_args(p) -> None:
     """Scatter/gather knobs shared by the run/trace/fleet/report
     subcommands (docs/parallel-offload.md).  The default keeps every
     invocation on the historical single-server path byte for byte."""
-    p.add_argument("--shards", type=int, default=1, metavar="K",
+    p.add_argument("--shards", type=_positive_shards, default=1,
+                   metavar="K",
                    help="split each shardable offload target across up "
                         "to K servers (default 1: classic single-server "
                         "invocations; non-shardable targets always stay "

@@ -141,27 +141,33 @@ class ScriptedDispatcher(OffloadDispatcher):
 
     Admission request k gets the script's k-th outcome; the first
     request past the end of the script raises :class:`SegmentBoundary`.
-    Release times are recorded (in session-local time) so the scheduler
-    can hand the *real* pool slot back at exactly the instant the
-    lockstep device thread would have.
+    Releases are recorded as ``(admission, session-local time)`` pairs
+    so the scheduler can hand each *real* pool slot back at exactly the
+    instant the lockstep device thread would have.  Identity matters:
+    a plan's members do not all release at one instant — the backend
+    hands a zero-share member's slot back at sizing time while the rest
+    release at plan end — so chronological release order is not grant
+    order, and pairing by position would free the wrong server's slot.
     """
 
     def __init__(self, script: Tuple[OutcomeProjection, ...]):
         self._script = script
         self._cursor = 0
         self._admissions_granted = 0
-        self._last_grant_size = 0
-        self.release_times: List[float] = []
+        self._last_grant: List[Admission] = []
+        self.release_log: List[Tuple[Admission, float]] = []
 
     def admit(self, target_name: str, now_s: float):
         if self._cursor >= len(self._script):
             raise SegmentBoundary(target_name, now_s)
         outcome = self._script[self._cursor]
         self._cursor += 1
-        if outcome.admitted:
-            self._admissions_granted += 1
-            self._last_grant_size = 1
-        return outcome.materialize()
+        if not outcome.admitted:
+            return outcome.materialize()
+        admission = outcome.materialize()
+        self._admissions_granted += 1
+        self._last_grant = [admission]
+        return admission
 
     def admit_gang(self, target_name: str, now_s: float, shards: int):
         if self._cursor >= len(self._script):
@@ -171,43 +177,45 @@ class ScriptedDispatcher(OffloadDispatcher):
         if isinstance(outcome, GangProjection):
             members = outcome.materialize()
             self._admissions_granted += len(members)
-            self._last_grant_size = len(members)
+            self._last_grant = list(members)
             return members
         if outcome.admitted:
             # the pool degraded the gang to one classic admission
+            admission = outcome.materialize()
             self._admissions_granted += 1
-            self._last_grant_size = 1
-            return [outcome.materialize()]
+            self._last_grant = [admission]
+            return [admission]
         return outcome.materialize()   # a Rejection
 
     def release(self, admission: Admission, now_s: float) -> None:
-        self.release_times.append(now_s)
+        self.release_log.append((admission, now_s))
 
     def _check_balanced(self) -> None:
-        if len(self.release_times) != self._admissions_granted:
+        if len(self.release_log) != self._admissions_granted:
             raise RuntimeError(
                 "replayed session ended with an unreleased admission "
-                f"({len(self.release_times)} releases for "
+                f"({len(self.release_log)} releases for "
                 f"{self._admissions_granted} admissions)")
 
     @property
     def last_release_t(self) -> Optional[float]:
         """Session-local release time of the script's final admission
         (None when the script is empty or ends in a rejection)."""
-        if not self._admissions_granted:
-            return None
-        self._check_balanced()
-        return self.release_times[-1]
+        ts = self.last_release_ts
+        return ts[-1] if ts else None
 
     @property
     def last_release_ts(self) -> Optional[Tuple[float, ...]]:
-        """Session-local release times of the final grant's members —
-        one per gang member, in grant order (a plan releases all its
-        admissions at the same session-local instant)."""
-        if not self._admissions_granted or not self._last_grant_size:
+        """Session-local release times of the final grant's members,
+        in GRANT order — matched by admission identity (the log holds
+        every released admission alive, so ``id`` is collision-free),
+        which is what lets the scheduler zip them against the real
+        pool's grant list even when a zero-share member released early."""
+        if not self._admissions_granted or not self._last_grant:
             return None
         self._check_balanced()
-        return tuple(self.release_times[-self._last_grant_size:])
+        times = {id(a): t for a, t in self.release_log}
+        return tuple(times[id(m)] for m in self._last_grant)
 
 
 @dataclass
@@ -228,7 +236,8 @@ class Segment:
     release_local_t: Optional[float] = None
     # Gang-admission extensions (docs/parallel-offload.md): the width
     # of the gang the boundary request asked for (1 = classic), and the
-    # per-member release times of the script's final grant.
+    # per-member release times of the script's final grant, in grant
+    # order (identity-matched — zero-share members release early).
     shards: int = 1
     release_local_ts: Optional[Tuple[float, ...]] = None
 

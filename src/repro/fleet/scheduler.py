@@ -222,6 +222,10 @@ class FleetScheduler:
             self.pool.release(admitted[0],
                               p.offset + segment.release_local_t)
         elif admitted:
+            # release_local_ts is in grant order (identity-matched by
+            # the ScriptedDispatcher), the same order as the real
+            # pool's gang list — so member k gets member k's release
+            # instant even when a zero-share member released early.
             for member, release_t in zip(admitted,
                                          segment.release_local_ts):
                 self.pool.release(member, p.offset + release_t)

@@ -22,7 +22,9 @@ semantics:
   alloca re-initialized by a dominating in-loop store — no loop-carried
   scalar dependence) or reads shard-invariant data (distinct root globals
   are assumed not to alias, a restrict-style contract documented in
-  docs/parallel-offload.md);
+  docs/parallel-offload.md); a read whose base has *no* provable root
+  global is refused whenever the target writes memory at all — an affine
+  index alone cannot prove same-element access on an unproven base;
 * no memory reads or writes outside the loop, and the return value is
   void or a compile-time constant (so the gathered result is
   shard-schedule independent).
@@ -308,17 +310,22 @@ def _analyze(fn: Function):  # -> _Analysis | str
                 return "in-loop read of shard-written data"
             continue
         if isinstance(pointer, inst.Gep):
-            index = (_peel(pointer.indices[0])
-                     if len(pointer.indices) == 1 else None)
-            affine = (isinstance(index, inst.Load) and index.pointer is iv
-                      and inside(index))
             root = _root_global(pointer.base)
             if root is None:
-                if stored_roots and not affine:
+                # An affine index proves nothing without a proven base:
+                # ``int *q = a - 1`` makes ``q[i]`` read ``a[i-1]``, a
+                # cross-shard dependence.  With any shard-written root
+                # the unproven base may alias it, so refuse outright.
+                if stored_roots:
                     return "unanalyzable in-loop read"
                 continue
-            if id(root) in stored_roots and not affine:
-                return "in-loop read of shard-written data"
+            if id(root) in stored_roots:
+                index = (_peel(pointer.indices[0])
+                         if len(pointer.indices) == 1 else None)
+                affine = (isinstance(index, inst.Load)
+                          and index.pointer is iv and inside(index))
+                if not affine:
+                    return "in-loop read of shard-written data"
             continue
         return "unanalyzable in-loop read"
 

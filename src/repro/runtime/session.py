@@ -101,12 +101,23 @@ class SessionOptions:
     # Straggler policy: a shard whose execution time exceeds
     # ``straggler_factor`` x the fastest shard's is abandoned and
     # replayed locally (charged to mobile time/energy).  0.0 disables
-    # lateness detection (only injected faults straggle).
+    # lateness detection (only injected faults straggle); any other
+    # value must be >= 1.0 — a factor in (0, 1) would brand every
+    # shard, the fastest included, a straggler.
     straggler_factor: float = 0.0
     # Fault injection for the shard-fault differential tests: shard
     # indices in this tuple never execute server-side and are replayed
     # locally on gather (DESIGN.md §5, shard-fault invariant).
     shard_faults: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.straggler_factor != 0.0 and self.straggler_factor < 1.0:
+            raise ValueError(
+                "straggler_factor must be 0.0 (disabled) or >= 1.0; "
+                f"got {self.straggler_factor!r} — a factor below 1.0 "
+                "would abandon every shard, the fastest included")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1; got {self.shards!r}")
 
 
 @dataclass

@@ -29,6 +29,8 @@ from conftest import HOT_KERNEL_SRC, HOT_KERNEL_STDIN, offload_c
 from repro.fleet import (DeviceSpec, PoolOptions, ServerPool, ServerSpec,
                          behavior_key, make_scheduler)
 from repro.fleet.pool import Rejection
+from repro.fleet.replay import (GangProjection, OutcomeProjection,
+                                ScriptedDispatcher)
 from repro.frontend import compile_c
 from repro.offload import CompilerOptions, NativeOffloaderCompiler
 from repro.offload.shard import contiguous_ranges
@@ -249,6 +251,99 @@ int main() {
         assert "crunch" not in program.shard_specs
         assert program.shard_refusals.get("crunch")
 
+    def test_unproven_root_read_refused_when_target_writes(self):
+        """An affine index proves nothing about a base with no provable
+        root global (``int *q = a`` could just as well be ``a - 1``, and
+        ``q[i]`` would read ``a[i-1]`` — a cross-shard dependence), so a
+        writing target must refuse such a read outright."""
+        src = r"""
+int data[2048];
+int out[2048];
+int n;
+
+void smooth(void) {
+    int i;
+    int *q = data;
+    for (i = 0; i < n; i++) {
+        out[i] = q[i] * 3 + i;
+    }
+}
+
+int main() {
+    int i, total = 0;
+    scanf("%d", &n);
+    for (i = 0; i < n; i++) data[i] = i * 7 + 3;
+    smooth();
+    for (i = 0; i < n; i++) total += out[i];
+    printf("sum %d\n", total);
+    return 0;
+}
+"""
+        local, result, program = offload_c(
+            src, stdin=b"600\n", compiler_options=FORCED,
+            session_options=SessionOptions(shards=4))
+        assert "smooth" not in program.shard_specs
+        assert "unanalyzable in-loop read" in \
+            program.shard_refusals.get("smooth", "")
+        assert all(r.shards == 1 for r in result.invocations)
+        assert result.stdout == local.stdout
+
+
+class TestOptionValidation:
+    """A straggler_factor in (0, 1) would brand every shard — the
+    fastest included — a straggler; SessionOptions refuses it."""
+
+    @pytest.mark.parametrize("factor", [0.5, 0.999, -1.0])
+    def test_fractional_straggler_factor_rejected(self, factor):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            SessionOptions(straggler_factor=factor)
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 1.001, 2.5])
+    def test_valid_straggler_factors_accepted(self, factor):
+        assert SessionOptions(
+            straggler_factor=factor).straggler_factor == factor
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            SessionOptions(shards=0)
+
+
+class TestScriptedReleasePairing:
+    """A plan's zero-share member hands its slot back at sizing time
+    while the rest release at plan end, so chronological release order
+    is not grant order — the replay dispatcher must pair release times
+    to admissions by identity or the scheduler frees the wrong
+    server's slot."""
+
+    def test_gang_release_times_come_back_in_grant_order(self):
+        gang = GangProjection.of([Admission(server_id=0),
+                                  Admission(server_id=1),
+                                  Admission(server_id=2)])
+        dispatcher = ScriptedDispatcher((gang,))
+        members = dispatcher.admit_gang("smooth", 0.0, 3)
+        # zero-share middle member releases early, the rest at plan end
+        dispatcher.release(members[1], 0.25)
+        dispatcher.release(members[0], 9.0)
+        dispatcher.release(members[2], 9.0)
+        assert dispatcher.last_release_ts == (9.0, 0.25, 9.0)
+
+    def test_single_grant_release(self):
+        script = (OutcomeProjection(admitted=True, server_id=3),)
+        dispatcher = ScriptedDispatcher(script)
+        admission = dispatcher.admit("smooth", 0.0)
+        dispatcher.release(admission, 4.0)
+        assert dispatcher.last_release_t == 4.0
+        assert dispatcher.last_release_ts == (4.0,)
+
+    def test_unreleased_admission_raises(self):
+        gang = GangProjection.of([Admission(server_id=0),
+                                  Admission(server_id=1)])
+        dispatcher = ScriptedDispatcher((gang,))
+        members = dispatcher.admit_gang("smooth", 0.0, 2)
+        dispatcher.release(members[0], 1.0)
+        with pytest.raises(RuntimeError, match="unreleased"):
+            dispatcher.last_release_ts
+
 
 class TestShardSizing:
     """Resource-aware apportionment (largest remainder, EWMA-damped)."""
@@ -391,6 +486,26 @@ class TestFleetGangs:
         second = self._fleet(program, shards=4)
         assert json.dumps(first.summary(), sort_keys=True) == \
             json.dumps(second.summary(), sort_keys=True)
+
+    def test_zero_share_gang_fleet_releases_correct_slots(self):
+        # trip 2 across a 3x-faster server: largest-remainder sizing
+        # gives [2, 0], the zero-share member's slot goes back at
+        # sizing time and the plan degrades to the classic path — the
+        # scheduler must still free each real server at its own
+        # member's instant.
+        module = compile_c(SHARD_SRC, "shard-zero")
+        profile = profile_module(module, stdin=b"600\n")
+        program = NativeOffloaderCompiler(FORCED).compile(module, profile)
+        local = run_local(module, stdin=b"2\n")
+        pool = ServerPool(PoolOptions(specs=(ServerSpec(speed=3.0),
+                                             ServerSpec())))
+        specs = [DeviceSpec(device_id="d0", program=program,
+                            network=FAST_WIFI, stdin=b"2\n",
+                            options=SessionOptions(shards=2))]
+        result = make_scheduler(specs, pool).run()
+        assert result.devices[0].result.stdout == local.stdout
+        detail = result.summary()["servers_detail"]
+        assert sum(r["shard_admissions"] for r in detail) == 2
 
     def test_lockstep_engine_refuses_shards(self, compiled):
         program, _ = compiled
